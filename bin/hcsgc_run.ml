@@ -1,0 +1,296 @@
+(* hcsgc-run: command-line driver for single experiments.
+
+   Examples:
+     hcsgc-run synthetic --config 16 --elements 50000
+     hcsgc-run synthetic --all-configs --runs 5
+     hcsgc-run graph --algo mc --dataset uk --config 4
+     hcsgc-run h2 --config 7
+     hcsgc-run specjbb --config 0
+     hcsgc-run figure f9 --runs 5 --scale 2 *)
+
+open Cmdliner
+module E = Hcsgc_experiments
+module Vm = Hcsgc_runtime.Vm
+module Config = Hcsgc_core.Config
+module Gc_stats = Hcsgc_core.Gc_stats
+module Layout = Hcsgc_heap.Layout
+module H = Hcsgc_memsim.Hierarchy
+
+let fmt = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let config_id =
+  let doc = "Table 2 configuration id (0-18); 0 is unmodified ZGC." in
+  Arg.(value & opt int 0 & info [ "config"; "c" ] ~docv:"ID" ~doc)
+
+let all_configs =
+  let doc = "Sweep all 19 configurations and print the figure panels." in
+  Arg.(value & flag & info [ "all-configs"; "a" ] ~doc)
+
+let runs =
+  let doc = "Sample size per configuration (with --all-configs)." in
+  Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc)
+
+let scale =
+  let doc = "Divide workload size by $(docv)." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"K" ~doc)
+
+let saturated =
+  let doc = "Pin mutator and GC to a single core (Fig. 6 setup)." in
+  Arg.(value & flag & info [ "saturated" ] ~doc)
+
+let seed =
+  let doc = "Workload seed." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let gc_log_flag =
+  let doc = "Print the structured GC event log after the run." in
+  Arg.(value & flag & info [ "gc-log" ] ~doc)
+
+let report_single vm =
+  let st = Vm.gc_stats vm in
+  let c = Vm.counters vm in
+  let mc = Vm.mutator_counters vm in
+  Format.fprintf fmt "execution time: %d cycles@." (Vm.wall_cycles vm);
+  Format.fprintf fmt "  mutator=%d stw=%d gc(concurrent)=%d@."
+    (Vm.mutator_cycles vm) (Vm.stw_cycles vm) (Vm.gc_cycles vm);
+  Format.fprintf fmt "GC: %d cycles, EC median %.1f small pages, %d freed pages@."
+    (Gc_stats.cycles st)
+    (Gc_stats.median_small_pages_in_ec st)
+    (Gc_stats.pages_freed st);
+  Format.fprintf fmt "relocation: %d by mutator, %d by GC (%d bytes)@."
+    (Gc_stats.objects_relocated_by_mutator st)
+    (Gc_stats.objects_relocated_by_gc st)
+    (Gc_stats.bytes_relocated st);
+  Format.fprintf fmt "hotness flags: %d@." (Gc_stats.hot_flags st);
+  Format.fprintf fmt "cache (whole process): loads=%d l1m=%d llcm=%d@." c.H.loads
+    c.H.l1_misses c.H.llc_misses;
+  Format.fprintf fmt "cache (mutator only):  loads=%d l1m=%d llcm=%d@."
+    mc.H.loads mc.H.l1_misses mc.H.llc_misses
+
+let run_experiment ~all ~runs ~config_id (exp : E.Runner.experiment) =
+  if all then
+    let results =
+      E.Runner.run_configs ~runs
+        ~progress:(fun m -> Format.eprintf "[run] %s@." m)
+        exp
+    in
+    E.Report.figure fmt ~title:exp.E.Runner.name
+      ~expectation:"(ad-hoc sweep; see bench/main.exe for paper figures)"
+      results
+  else begin
+    let config = Config.of_id config_id in
+    Format.fprintf fmt "workload %s under config %d (%s)@." exp.E.Runner.name
+      config_id (Config.to_string config);
+    let vm = exp.E.Runner.make_vm config in
+    exp.E.Runner.workload vm ~run:0;
+    Vm.finish vm;
+    report_single vm
+  end
+
+(* ------------------------------------------------------------------ *)
+(* synthetic                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let synthetic_cmd =
+  let elements =
+    Arg.(value & opt int 100_000 & info [ "elements" ] ~docv:"N"
+           ~doc:"Array length.")
+  in
+  let phases =
+    Arg.(value & opt int 1 & info [ "phases" ] ~docv:"P"
+           ~doc:"Access-pattern phases (Fig. 5 uses 3).")
+  in
+  let cold_ratio =
+    Arg.(value & opt int 0 & info [ "cold-ratio" ] ~docv:"R"
+           ~doc:"Never-accessed cold elements per hot element (Fig. 6 uses 10).")
+  in
+  let run config_id all runs scale saturated _seed elements phases cold_ratio =
+    let scale = max 1 (scale * (100_000 / max 1 elements)) in
+    let exp =
+      E.Fig_synthetic.experiment ~phases ~cold_ratio ~saturated ~scale ()
+    in
+    run_experiment ~all ~runs ~config_id exp
+  in
+  Cmd.v
+    (Cmd.info "synthetic" ~doc:"The paper's synthetic micro-benchmark (§4.4)")
+    Term.(
+      const run $ config_id $ all_configs $ runs $ scale $ saturated $ seed
+      $ elements $ phases $ cold_ratio)
+
+(* ------------------------------------------------------------------ *)
+(* graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let graph_cmd =
+  let algo =
+    let parse = function
+      | "cc" -> Ok `Cc
+      | "mc" -> Ok `Mc
+      | s -> Error (`Msg ("unknown algorithm: " ^ s))
+    in
+    let print fmt a =
+      Format.pp_print_string fmt (match a with `Cc -> "cc" | `Mc -> "mc")
+    in
+    Arg.(value
+        & opt (conv (parse, print)) `Cc
+        & info [ "algo" ] ~docv:"cc|mc" ~doc:"Connected components or maximal cliques.")
+  in
+  let dataset =
+    let parse = function
+      | "uk" -> Ok `Uk
+      | "enwiki" -> Ok `Enwiki
+      | s -> Error (`Msg ("unknown dataset: " ^ s))
+    in
+    let print fmt d =
+      Format.pp_print_string fmt (match d with `Uk -> "uk" | `Enwiki -> "enwiki")
+    in
+    Arg.(value
+        & opt (conv (parse, print)) `Uk
+        & info [ "dataset" ] ~docv:"uk|enwiki" ~doc:"Table 3 input (generator stand-in).")
+  in
+  let run config_id all runs scale _saturated _seed algo dataset =
+    let module D = Hcsgc_graph.Dataset in
+    let exp =
+      match (algo, dataset) with
+      | `Cc, `Uk -> E.Fig_graph.cc_experiment ~dataset:D.uk_cc ~scale:(4 * scale)
+      | `Cc, `Enwiki ->
+          E.Fig_graph.cc_experiment ~dataset:D.enwiki_cc ~scale:(4 * scale)
+      | `Mc, `Uk ->
+          E.Fig_graph.mc_experiment ~dataset:D.uk_mc ~scale:(2 * scale) ()
+      | `Mc, `Enwiki ->
+          E.Fig_graph.mc_experiment ~dataset:D.enwiki_mc ~scale:(2 * scale) ()
+    in
+    run_experiment ~all ~runs ~config_id exp
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"JGraphT-style graph workloads (§4.5)")
+    Term.(
+      const run $ config_id $ all_configs $ runs $ scale $ saturated $ seed
+      $ algo $ dataset)
+
+(* ------------------------------------------------------------------ *)
+(* h2 / tradebeans / specjbb                                           *)
+(* ------------------------------------------------------------------ *)
+
+let h2_cmd =
+  let run config_id all runs scale _ _ =
+    run_experiment ~all ~runs ~config_id (E.Fig_dacapo.h2_experiment ~scale)
+  in
+  Cmd.v
+    (Cmd.info "h2" ~doc:"In-memory-database workload (DaCapo h2 stand-in, §4.6)")
+    Term.(const run $ config_id $ all_configs $ runs $ scale $ saturated $ seed)
+
+let tradebeans_cmd =
+  let run config_id all runs scale _ _ =
+    run_experiment ~all ~runs ~config_id
+      (E.Fig_dacapo.tradebeans_experiment ~scale)
+  in
+  Cmd.v
+    (Cmd.info "tradebeans"
+       ~doc:"Trading-session workload (DaCapo tradebeans stand-in, §4.6)")
+    Term.(const run $ config_id $ all_configs $ runs $ scale $ saturated $ seed)
+
+let specjbb_cmd =
+  let run config_id _all _runs scale _ seed =
+    let module S = Hcsgc_workloads.Specjbb_sim in
+    let config = Config.of_id config_id in
+    let params = E.Fig_specjbb.experiment_params ~scale in
+    let vm =
+      Vm.create
+        ~layout:(Layout.scaled ~small_page:(64 * 1024))
+        ~machine_config:E.Scaled_machine.config
+        ~mutators:params.S.handlers ~config ~max_heap:(24 * 1024 * 1024) ()
+    in
+    let r = S.run vm { params with S.seed } in
+    Vm.finish vm;
+    Format.fprintf fmt "throughput (max-jOPS-like):    %.2f txn/Mcycle@."
+      r.S.max_jops;
+    Format.fprintf fmt "latency (critical-jOPS-like):  %.2f txn/Mcycle@."
+      r.S.critical_jops;
+    Format.fprintf fmt "mean latency: %.0f cycles; survival: %.2f%%@."
+      r.S.mean_latency
+      (100.0 *. r.S.survival_rate);
+    report_single vm
+  in
+  Cmd.v
+    (Cmd.info "specjbb" ~doc:"SPECjbb2015-style ramping workload (§4.7)")
+    Term.(const run $ config_id $ all_configs $ runs $ scale $ saturated $ seed)
+
+let lru_cmd =
+  let run config_id gc_log seed =
+    let module L = Hcsgc_workloads.Lru_sim in
+    let config = Config.of_id config_id in
+    let vm =
+      Vm.create
+        ~layout:(Layout.scaled ~small_page:(64 * 1024))
+        ~machine_config:E.Scaled_machine.config ~gc_log ~config
+        ~max_heap:(4 * 1024 * 1024) ()
+    in
+    let r = L.run vm { L.default with L.seed } in
+    Vm.finish vm;
+    Format.fprintf fmt "gets=%d hits=%d (%.1f%%) puts=%d evictions=%d@."
+      r.L.gets r.L.hits
+      (100.0 *. float_of_int r.L.hits /. float_of_int (max 1 r.L.gets))
+      r.L.puts r.L.evictions;
+    report_single vm;
+    if gc_log then
+      match Vm.gc_log vm with
+      | Some recorder ->
+          Format.fprintf fmt "@.-- GC event log (newest window) --@.%a"
+            Hcsgc_core.Gc_log.pp recorder
+      | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "lru" ~doc:"LRU object-cache service (pointer-surgery workload)")
+    Term.(const run $ config_id $ gc_log_flag $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* figure: delegate to the bench registry                              *)
+(* ------------------------------------------------------------------ *)
+
+let figure_cmd =
+  let which =
+    Arg.(required
+        & pos 0 (some string) None
+        & info [] ~docv:"FIG" ~doc:"t1 t2 t3 f4..f13")
+  in
+  let run which runs scale =
+    match which with
+    | "t1" -> E.Tables.t1 fmt
+    | "t2" -> E.Tables.t2 fmt
+    | "t3" -> E.Tables.t3 ~scale fmt
+    | "f4" -> E.Fig_synthetic.fig4 ~runs ~scale fmt
+    | "f5" -> E.Fig_synthetic.fig5 ~runs ~scale fmt
+    | "f6" -> E.Fig_synthetic.fig6 ~runs ~scale fmt
+    | "f7" -> E.Fig_graph.fig7 ~runs ~scale fmt
+    | "f8" -> E.Fig_graph.fig8 ~runs ~scale fmt
+    | "f9" -> E.Fig_graph.fig9 ~runs ~scale fmt
+    | "f10" -> E.Fig_graph.fig10 ~runs ~scale fmt
+    | "f11" -> E.Fig_dacapo.fig11 ~runs ~scale fmt
+    | "f12" -> E.Fig_dacapo.fig12 ~runs ~scale fmt
+    | "f13" -> E.Fig_specjbb.fig13 ~runs ~scale fmt
+    | other -> Format.eprintf "unknown figure: %s@." other
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one of the paper's tables or figures")
+    Term.(
+      const run $ which
+      $ Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc:"Sample size.")
+      $ Arg.(value & opt int 2 & info [ "scale" ] ~docv:"K" ~doc:"Scale divisor."))
+
+let () =
+  let info =
+    Cmd.info "hcsgc-run" ~version:"1.0.0"
+      ~doc:
+        "Run HCSGC experiments: hotness-based GC relocation on a simulated \
+         ZGC (PLDI 2020 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ synthetic_cmd; graph_cmd; h2_cmd; tradebeans_cmd; specjbb_cmd;
+            lru_cmd; figure_cmd ]))

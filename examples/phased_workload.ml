@@ -1,0 +1,53 @@
+(* A multi-phase application (the paper's Fig. 5 scenario): the access
+   pattern over the same long-lived objects changes completely between
+   phases.  HCSGC re-captures each phase's order because mutators relocate
+   objects as they touch them — no bookkeeping of the new order is needed.
+
+   Run with:  dune exec examples/phased_workload.exe *)
+
+module Vm = Hcsgc_runtime.Vm
+module Config = Hcsgc_core.Config
+module Gc_stats = Hcsgc_core.Gc_stats
+module Layout = Hcsgc_heap.Layout
+module Synthetic = Hcsgc_workloads.Synthetic
+module Scaled_machine = Hcsgc_experiments.Scaled_machine
+
+let run config =
+  let vm =
+    Vm.create
+      ~layout:(Layout.scaled ~small_page:(64 * 1024))
+      ~machine_config:Scaled_machine.config ~config
+      ~max_heap:(24 * 1024 * 1024)
+      ()
+  in
+  let params =
+    {
+      Synthetic.default with
+      Synthetic.elements = 50_000;
+      accesses_per_loop = 20_000;
+      phases = 3;  (* three different seeds = three access patterns *)
+      loops = 15;  (* five loops per phase *)
+    }
+  in
+  ignore (Synthetic.run vm params);
+  Vm.finish vm;
+  (Vm.wall_cycles vm, Gc_stats.objects_relocated_by_mutator (Vm.gc_stats vm))
+
+let () =
+  Printf.printf
+    "three-phase workload (same objects, different access order per phase)\n%!";
+  let configs = [ (0, "ZGC baseline"); (4, "ra+lazy"); (16, "hot+cp+cc1.0+lazy") ] in
+  let results =
+    List.map (fun (id, name) -> (name, run (Config.of_id id))) configs
+  in
+  let base = fst (snd (List.hd results)) in
+  List.iter
+    (fun (name, (wall, mut_reloc)) ->
+      Printf.printf "  %-20s wall=%12d (%+6.1f%%)  mutator relocations=%d\n"
+        name wall
+        (100.0 *. (float_of_int wall -. float_of_int base) /. float_of_int base)
+        mut_reloc)
+    results;
+  print_endline
+    "\nmutator relocations track the phase changes: each new pattern is\n\
+     re-captured during the GC cycles that follow the phase boundary."

@@ -1,0 +1,56 @@
+type t = {
+  mutable setting : float;
+  mutable step : float;
+  mutable direction : float;  (* +1.0 or -1.0 *)
+  mutable last_rate : float option;
+  mutable count : int;
+  deadband : float;
+  min_step : float;
+}
+
+let create ?(initial = 0.5) ?(step = 0.25) ?(deadband = 0.01) () =
+  if initial < 0.0 || initial > 1.0 then
+    invalid_arg "Autotuner.create: initial outside [0,1]";
+  if step <= 0.0 then invalid_arg "Autotuner.create: step must be positive";
+  {
+    setting = initial;
+    step;
+    direction = 1.0;
+    last_rate = None;
+    count = 0;
+    deadband;
+    min_step = 0.02;
+  }
+
+let cold_confidence t = t.setting
+
+let epochs t = t.count
+
+let clamp x = Float.max 0.0 (Float.min 1.0 x)
+
+let observe t ~miss_rate =
+  if Float.is_nan miss_rate || miss_rate < 0.0 then ()
+  else begin
+    t.count <- t.count + 1;
+    (match t.last_rate with
+    | None -> ()
+    | Some prev ->
+        let relative =
+          if prev <= 0.0 then 0.0 else (miss_rate -. prev) /. prev
+        in
+        if relative > t.deadband then begin
+          (* The last move hurt: back off and probe more cautiously. *)
+          t.direction <- -.t.direction;
+          t.step <- Float.max t.min_step (t.step /. 2.0)
+        end
+        else if relative < -.t.deadband then
+          (* The move helped: press on, growing confidence slightly. *)
+          t.step <- Float.min 0.25 (t.step *. 1.25)
+        (* Within the deadband: keep the current direction and step. *));
+    t.last_rate <- Some miss_rate;
+    t.setting <- clamp (t.setting +. (t.direction *. t.step))
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "autotuner{cc=%.2f step=%.2f dir=%+.0f epochs=%d}"
+    t.setting t.step t.direction t.count

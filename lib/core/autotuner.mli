@@ -1,0 +1,32 @@
+(** A feedback loop that auto-tunes COLDCONFIDENCE — the paper's first
+    "future work" item (§4.8): "collecting cache miss rate, which can be
+    used for more aggressive segregation if the result is positive or
+    backing off otherwise".
+
+    The tuner is a bounded hill climber over the mutator's cache miss rate,
+    observed once per GC cycle: while nudging COLDCONFIDENCE in some
+    direction keeps lowering the miss rate, keep going; when the miss rate
+    worsens, reverse and shrink the step.  The controller is deliberately
+    conservative (relative improvements below [deadband] are treated as
+    noise) so it cannot oscillate on a flat objective. *)
+
+type t
+
+val create :
+  ?initial:float -> ?step:float -> ?deadband:float -> unit -> t
+(** Defaults: start at COLDCONFIDENCE 0.5, step 0.25, deadband 1 % relative
+    miss-rate change.
+    @raise Invalid_argument if [initial] is outside [0, 1] or [step <= 0]. *)
+
+val cold_confidence : t -> float
+(** The current setting (always within [0, 1]). *)
+
+val observe : t -> miss_rate:float -> unit
+(** Feed the mutator miss rate measured over the epoch that ran with the
+    current setting; the tuner updates its setting for the next epoch.
+    Non-finite or negative miss rates are ignored. *)
+
+val epochs : t -> int
+(** Number of observations consumed. *)
+
+val pp : Format.formatter -> t -> unit

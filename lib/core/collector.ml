@@ -1,0 +1,884 @@
+module Heap = Hcsgc_heap.Heap
+module Heap_obj = Hcsgc_heap.Heap_obj
+module Page = Hcsgc_heap.Page
+module Addr = Hcsgc_heap.Addr
+module Layout = Hcsgc_heap.Layout
+module Fwd_table = Hcsgc_heap.Fwd_table
+module Machine = Hcsgc_memsim.Machine
+module Vec = Hcsgc_util.Vec
+
+type phase = Idle | Marking | Relocating
+
+type work = { gc : int; stw : int }
+
+type who = Mutator of int | Gc
+
+exception Out_of_memory
+exception Invalid_handle of string
+
+(* A page being evacuated by the GC relocation pass: the live objects
+   snapshot (from the livemap) and a cursor. *)
+type relo_cursor = {
+  relo_page : Page.t;
+  victims : Heap_obj.t array;
+  mutable next : int;
+}
+
+type t = {
+  heap : Heap.t;
+  machine : Machine.t;
+  config : Config.t;
+  gc_core : int;
+  roots : unit -> Heap_obj.t list;
+  stats : Gc_stats.t;
+  listener : Gc_log.event -> unit;
+  mutable marked_at_cycle_start : int;
+  mutable good : Addr.color;
+  mutable mark_color : Addr.color;  (* the M0/M1 colour of the current cycle *)
+  mutable phase : phase;
+  mutable cycle_no : int;
+  (* Mark work items: an object plus the slot index scanning resumes from.
+     Large objects (e.g. big reference arrays) are traced in bounded chunks
+     so GC work interleaves with mutator progress at realistic granularity —
+     otherwise one work unit could atomically relocate everything a big
+     array points into, erasing the mutator/GC relocation race of §3.2. *)
+  mark_stack : (Heap_obj.t * int) Vec.t;
+  relo_queue : Page.t Vec.t;  (* pages awaiting the GC relocation pass *)
+  mutable relo_cur : relo_cursor option;
+  pending_ec : Page.t Vec.t;  (* LAZYRELOCATE: EC deferred to next cycle *)
+  fwd_index : (int, Page.t) Hashtbl.t;  (* granule -> freed page w/ live fwd *)
+  retire_queue : (int * Page.t) Vec.t;  (* (cycle freed, page) *)
+  (* Bump targets.  Mutator allocation and relocation pages are per core;
+     GC threads keep a hot and a cold target (§3.3); medium-object targets
+     are shared. *)
+  mut_alloc : (int, Page.t) Hashtbl.t;
+  mut_relo : (int, Page.t) Hashtbl.t;
+  mutable medium_alloc : Page.t option;
+  mutable medium_relo : Page.t option;
+  mutable gc_hot : Page.t option;
+  mutable gc_cold : Page.t option;
+  (* COLDCONFIDENCE in effect; starts at the configured value and may be
+     retuned at run time by a feedback loop (Autotuner). *)
+  mutable dyn_cold_confidence : float;
+  (* wall-clock view for heap samples; updated by the VM via set_wall *)
+  mutable wall_hint : int;
+  (* object bytes allocated since the last cycle start; drives cycle
+     scheduling the way ZGC's allocation-rate heuristics do *)
+  mutable allocated_since_cycle : int;
+}
+
+let create ?(listener = fun (_ : Gc_log.event) -> ()) ~heap ~machine ~config
+    ~gc_core ~roots () =
+  (match Config.validate config with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Collector.create: " ^ msg));
+  {
+    heap;
+    machine;
+    config;
+    gc_core;
+    roots;
+    stats = Gc_stats.create ();
+    listener;
+    marked_at_cycle_start = 0;
+    good = Addr.M1;
+    mark_color = Addr.M1;
+    phase = Idle;
+    cycle_no = 0;
+    mark_stack = Vec.create ();
+    relo_queue = Vec.create ();
+    relo_cur = None;
+    pending_ec = Vec.create ();
+    fwd_index = Hashtbl.create 256;
+    retire_queue = Vec.create ();
+    mut_alloc = Hashtbl.create 4;
+    mut_relo = Hashtbl.create 4;
+    medium_alloc = None;
+    medium_relo = None;
+    gc_hot = None;
+    gc_cold = None;
+    dyn_cold_confidence = config.Config.cold_confidence;
+    wall_hint = 0;
+    allocated_since_cycle = 0;
+  }
+
+let heap t = t.heap
+let config t = t.config
+let stats t = t.stats
+let phase t = t.phase
+let good_color t = t.good
+let cycle_number t = t.cycle_no
+
+let layout t = Heap.layout t.heap
+
+let who_core t who = match who with Mutator c -> c | Gc -> t.gc_core
+
+let set_wall_hint t wall = t.wall_hint <- wall
+
+let cold_confidence t = t.dyn_cold_confidence
+
+let set_cold_confidence t v =
+  if not t.config.Config.hotness then
+    invalid_arg "Collector.set_cold_confidence: requires HOTNESS";
+  if v < 0.0 || v > 1.0 then
+    invalid_arg "Collector.set_cold_confidence: outside [0,1]";
+  t.dyn_cold_confidence <- v
+
+(* ------------------------------------------------------------------ *)
+(* Target pages                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Relocation and allocation targets are allocated with [force] so that
+   compaction can always make progress (ZGC's relocation headroom). *)
+let fresh_target t ~cls ~force =
+  match
+    Heap.alloc_page ~force t.heap ~cls ~bytes:0 ~birth_cycle:t.cycle_no
+  with
+  | Some page ->
+      page.Page.is_alloc_target <- true;
+      Some page
+  | None -> None
+
+let retire_target (page : Page.t) = page.Page.is_alloc_target <- false
+
+(* Bump [bytes] in the target identified by [get]/[set], replacing a full
+   target page.  Returns the destination address and a page-allocation cost
+   (0 if the current target sufficed). *)
+let target_bump t ~cls ~force ~get ~set bytes =
+  let rec go cost =
+    match get () with
+    | Some page -> (
+        match Page.bump_alloc page bytes with
+        | Some offset -> Some (page, page.Page.start + offset, cost)
+        | None ->
+            retire_target page;
+            set None;
+            go cost)
+    | None -> (
+        match fresh_target t ~cls ~force with
+        | None -> None
+        | Some page ->
+            set (Some page);
+            go (cost + Cost.alloc_page))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Relocation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Pick the destination bump target for relocating [obj] off [src]. *)
+let relo_target t ~who ~(src : Page.t) (obj : Heap_obj.t) bytes =
+  match src.Page.cls with
+  | Layout.Medium ->
+      target_bump t ~cls:Layout.Medium ~force:true
+        ~get:(fun () -> t.medium_relo)
+        ~set:(fun p -> t.medium_relo <- p)
+        bytes
+  | Layout.Large -> assert false (* large pages are never in EC *)
+  | Layout.Small -> (
+      match who with
+      | Mutator core ->
+          target_bump t ~cls:Layout.Small ~force:true
+            ~get:(fun () -> Hashtbl.find_opt t.mut_relo core)
+            ~set:(fun p ->
+              match p with
+              | Some p -> Hashtbl.replace t.mut_relo core p
+              | None -> Hashtbl.remove t.mut_relo core)
+            bytes
+      | Gc ->
+          (* §3.3: with COLDPAGE on, GC threads send cold objects to a
+             dedicated cold page; hot objects (and everything, when the knob
+             is off) go to the hot page. *)
+          let cold =
+            t.config.Config.coldpage
+            && t.config.Config.hotness
+            && not (Page.is_hot src obj)
+          in
+          if cold then
+            target_bump t ~cls:Layout.Small ~force:true
+              ~get:(fun () -> t.gc_cold)
+              ~set:(fun p -> t.gc_cold <- p)
+              bytes
+          else
+            target_bump t ~cls:Layout.Small ~force:true
+              ~get:(fun () -> t.gc_hot)
+              ~set:(fun p -> t.gc_hot <- p)
+              bytes)
+
+(* Copy [obj] out of the in-EC page [src].  Returns the cycle cost charged
+   to [who].  The forwarding-table insertion is the linearisation point. *)
+let relocate t ~who (obj : Heap_obj.t) (src : Page.t) =
+  assert (src.Page.state = Page.In_ec);
+  let offset = obj.Heap_obj.addr - src.Page.start in
+  let bytes = obj.Heap_obj.size in
+  match relo_target t ~who ~src obj bytes with
+  | None -> raise Out_of_memory
+  | Some (dst, new_addr, page_cost) -> (
+      match Fwd_table.claim src.Page.fwd ~offset ~new_addr with
+      | Fwd_table.Already _ ->
+          (* Cannot happen in the deterministic simulator: an object still
+             registered on its source page has not been claimed. *)
+          assert false
+      | Fwd_table.Claimed ->
+          let core = who_core t who in
+          let copy_cost =
+            Machine.load_range t.machine ~core obj.Heap_obj.addr bytes
+            + Machine.store_range t.machine ~core new_addr bytes
+          in
+          Page.remove_object src obj;
+          obj.Heap_obj.addr <- new_addr;
+          obj.Heap_obj.relocations <- obj.Heap_obj.relocations + 1;
+          Page.add_object dst obj;
+          Gc_stats.on_relocate t.stats
+            ~by_mutator:(match who with Mutator _ -> true | Gc -> false)
+            ~bytes;
+          page_cost + copy_cost + Cost.relocate_fixed + Cost.fwd_insert)
+
+(* ------------------------------------------------------------------ *)
+(* Resolution: coloured address -> current object                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Follow forwarding chains and relocate on demand until [addr] names an
+   object at its current location.  Accumulates cost in [cost]. *)
+let rec resolve t ~who ~cost addr =
+  let granule = addr / Layout.granule (layout t) in
+  match Hashtbl.find_opt t.fwd_index granule with
+  | Some old_page -> (
+      cost := !cost + Cost.fwd_lookup;
+      let offset = addr - old_page.Page.start in
+      match Fwd_table.find old_page.Page.fwd ~offset with
+      | Some new_addr -> resolve t ~who ~cost new_addr
+      | None ->
+          raise
+            (Invalid_handle
+               (Printf.sprintf
+                  "stale pointer 0x%x into freed page #%d with no forwarding"
+                  addr old_page.Page.id)))
+  | None -> (
+      match Heap.page_of_addr t.heap addr with
+      | None ->
+          raise
+            (Invalid_handle (Printf.sprintf "pointer 0x%x maps to no page" addr))
+      | Some page -> (
+          let offset = addr - page.Page.start in
+          match Page.find_object page ~offset with
+          | Some obj ->
+              if page.Page.state = Page.In_ec then begin
+                cost := !cost + relocate t ~who obj page;
+                obj
+              end
+              else obj
+          | None -> (
+              (* Relocated out of an in-EC page: follow its forwarding. *)
+              cost := !cost + Cost.fwd_lookup;
+              match Fwd_table.find page.Page.fwd ~offset with
+              | Some new_addr -> resolve t ~who ~cost new_addr
+              | None ->
+                  raise
+                    (Invalid_handle
+                       (Printf.sprintf "no object at 0x%x on page #%d" addr
+                          page.Page.id)))))
+
+(* ------------------------------------------------------------------ *)
+(* Marking                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let page_of_obj t (obj : Heap_obj.t) =
+  match Heap.page_of_addr t.heap obj.Heap_obj.addr with
+  | Some page -> page
+  | None ->
+      raise
+        (Invalid_handle
+           (Printf.sprintf "object #%d at unmapped address 0x%x"
+              obj.Heap_obj.id obj.Heap_obj.addr))
+
+(* Mark [obj] live on its (to-space) page; push for tracing when newly
+   marked.  Only meaningful during the marking phase. *)
+let mark_object t (obj : Heap_obj.t) =
+  let page = page_of_obj t obj in
+  assert (page.Page.state <> Page.In_ec);
+  if Page.mark_live page obj then begin
+    Gc_stats.on_mark t.stats;
+    Vec.push t.mark_stack (obj, 0);
+    Cost.mark_object
+  end
+  else 0
+
+let flag_hot t ~(page : Page.t) (obj : Heap_obj.t) =
+  if t.config.Config.hotness && page.Page.cls = Layout.Small then
+    if Page.flag_hot page obj then begin
+      Gc_stats.on_hot_flag t.stats;
+      Cost.hotmap_cas
+    end
+    else 0
+  else 0
+
+(* ------------------------------------------------------------------ *)
+(* Mutator interface                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let use_handle t ~core (obj : Heap_obj.t) =
+  let page = page_of_obj t obj in
+  let cost = ref 0 in
+  let relocated = page.Page.state = Page.In_ec in
+  let page =
+    if relocated then begin
+      cost := !cost + relocate t ~who:(Mutator core) obj page;
+      page_of_obj t obj
+    end
+    else page
+  in
+  (match Page.find_object page ~offset:(obj.Heap_obj.addr - page.Page.start) with
+  | Some o when o == obj -> ()
+  | _ ->
+      raise
+        (Invalid_handle
+           (Printf.sprintf "handle to reclaimed object #%d" obj.Heap_obj.id)));
+  (* Hotness is recorded on barrier slow paths only (§3.1.2): a handle use
+     flags the object just when it forced relocation work — freshly
+     allocated objects reached through good-coloured pointers are never
+     flagged, exactly as in ZGC. *)
+  if relocated then cost := !cost + flag_hot t ~page obj;
+  if t.phase = Marking then cost := !cost + mark_object t obj;
+  !cost
+
+let slot_addr t obj slot = Heap_obj.ref_slot_addr ~layout:(layout t) obj slot
+
+let load_ref t ~core (src : Heap_obj.t) ~slot =
+  let cost = ref (use_handle t ~core src) in
+  cost := !cost + Machine.load t.machine ~core (slot_addr t src slot);
+  let ptr = Heap_obj.get_ref src slot in
+  if Addr.is_null ptr then (None, !cost)
+  else if Addr.has_color t.good ptr then begin
+    (* Fast path: the good colour guarantees a current, to-space address. *)
+    match Heap.obj_at t.heap (Addr.addr ptr) with
+    | Some obj -> (Some obj, !cost)
+    | None ->
+        raise
+          (Invalid_handle
+             (Printf.sprintf "good-coloured pointer 0x%x has no object"
+                (Addr.addr ptr)))
+  end
+  else begin
+    (* Slow path: remap / mark / relocate, flag hotness, self-heal. *)
+    cost := !cost + Cost.barrier_slow;
+    let obj = resolve t ~who:(Mutator core) ~cost (Addr.addr ptr) in
+    if t.phase = Marking then cost := !cost + mark_object t obj;
+    cost := !cost + flag_hot t ~page:(page_of_obj t obj) obj;
+    Heap_obj.set_ref src slot (Addr.make t.good obj.Heap_obj.addr);
+    cost := !cost + Machine.store t.machine ~core (slot_addr t src slot);
+    (Some obj, !cost)
+  end
+
+let store_ref t ~core (src : Heap_obj.t) ~slot target =
+  let cost = ref (use_handle t ~core src) in
+  (match target with
+  | None -> Heap_obj.set_ref src slot Addr.null
+  | Some obj ->
+      cost := !cost + use_handle t ~core obj;
+      (* Keep handle-published objects from hiding during marking. *)
+      if t.phase = Marking then cost := !cost + mark_object t obj;
+      Heap_obj.set_ref src slot (Addr.make t.good obj.Heap_obj.addr));
+  cost := !cost + Machine.store t.machine ~core (slot_addr t src slot);
+  !cost
+
+let alloc t ~core ~nrefs ~nwords =
+  let lay = layout t in
+  let bytes = Layout.object_bytes lay ~nrefs ~nwords in
+  t.allocated_since_cycle <- t.allocated_since_cycle + bytes;
+  Gc_stats.on_alloc t.stats ~bytes;
+  let finish obj page_cost =
+    let header_cost =
+      Machine.store_range t.machine ~core obj.Heap_obj.addr
+        lay.Layout.header_bytes
+    in
+    Some (obj, Cost.alloc + page_cost + header_cost)
+  in
+  match Layout.class_of_object_size lay bytes with
+  | Layout.Large -> (
+      match
+        Heap.alloc_large_object t.heap ~nrefs ~nwords ~birth_cycle:t.cycle_no
+      with
+      | Some obj -> finish obj Cost.alloc_page
+      | None -> None)
+  | Layout.Medium -> (
+      match
+        target_bump t ~cls:Layout.Medium ~force:false
+          ~get:(fun () -> t.medium_alloc)
+          ~set:(fun p -> t.medium_alloc <- p)
+          bytes
+      with
+      | None -> None
+      | Some (page, addr, page_cost) ->
+          let obj =
+            Heap_obj.create ~layout:lay ~id:(Heap.fresh_obj_id t.heap) ~addr
+              ~nrefs ~nwords
+          in
+          Page.add_object page obj;
+          finish obj page_cost)
+  | Layout.Small -> (
+      match
+        target_bump t ~cls:Layout.Small ~force:false
+          ~get:(fun () -> Hashtbl.find_opt t.mut_alloc core)
+          ~set:(fun p ->
+            match p with
+            | Some p -> Hashtbl.replace t.mut_alloc core p
+            | None -> Hashtbl.remove t.mut_alloc core)
+          bytes
+      with
+      | None -> None
+      | Some (page, addr, page_cost) ->
+          let obj =
+            Heap_obj.create ~layout:lay ~id:(Heap.fresh_obj_id t.heap) ~addr
+              ~nrefs ~nwords
+          in
+          Page.add_object page obj;
+          finish obj page_cost)
+
+(* ------------------------------------------------------------------ *)
+(* The GC cycle                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Cycle scheduling.  ZGC paces cycles from allocation-rate prediction; we
+   use the deterministic equivalent: start a cycle once [trigger] × max-heap
+   bytes have been allocated since the last cycle started, with a
+   high-usage backstop (the allocation-stall path covers the rest). *)
+let hard_usage_trigger = 0.85
+
+let needs_cycle t ~trigger =
+  t.phase = Idle
+  && (t.allocated_since_cycle
+      >= int_of_float (trigger *. float_of_int (Heap.max_bytes t.heap))
+     || Heap.used_ratio t.heap >= hard_usage_trigger)
+
+let sample_heap t =
+  Gc_stats.on_heap_sample t.stats ~wall:t.wall_hint ~used:(Heap.used_bytes t.heap)
+
+(* STW1. *)
+let start_cycle t =
+  if t.phase <> Idle then invalid_arg "Collector.start_cycle: cycle in progress";
+  t.cycle_no <- t.cycle_no + 1;
+  t.allocated_since_cycle <- 0;
+  t.marked_at_cycle_start <- Gc_stats.objects_marked t.stats;
+  t.listener
+    (Gc_log.Cycle_start
+       { cycle = t.cycle_no; wall = t.wall_hint;
+         heap_used = Heap.used_bytes t.heap });
+  ignore (Gc_stats.on_cycle_start t.stats ~wall:t.wall_hint);
+  Gc_stats.on_stw t.stats;
+  t.mark_color <- Addr.next_mark_color t.mark_color;
+  t.good <- t.mark_color;
+  (* Reset per-page mark state (livemap, counters, hotmap epoch flip) for
+     pages that will be re-marked; pages still in EC keep their snapshot —
+     it drives their pending evacuation. *)
+  Heap.iter_pages t.heap (fun page ->
+      if page.Page.state = Page.Active then Page.reset_mark_state page);
+  (* Fig. 3: under LAZYRELOCATE the deferred relocation pass runs at the
+     start of this cycle. *)
+  Vec.iter (fun page -> Vec.push t.relo_queue page) t.pending_ec;
+  Vec.clear t.pending_ec;
+  (* Seed marking from roots.  Roots on in-EC pages are relocated first
+     (the STW pause heals all roots). *)
+  let cost = ref Cost.stw_pause in
+  let roots = t.roots () in
+  List.iter
+    (fun root ->
+      cost := !cost + Cost.root_fixup;
+      let page = page_of_obj t root in
+      if page.Page.state = Page.In_ec then
+        cost := !cost + relocate t ~who:Gc root page;
+      cost := !cost + mark_object t root)
+    roots;
+  t.phase <- Marking;
+  t.listener
+    (Gc_log.Pause { cycle = t.cycle_no; pause = Gc_log.STW1; cost = !cost });
+  sample_heap t;
+  { gc = 0; stw = !cost }
+
+(* How many reference slots one GC work unit traces. *)
+let scan_chunk = 64
+
+(* Trace (a chunk of) an object popped from the mark stack. *)
+let scan_object t (obj : Heap_obj.t) from_slot =
+  let lay = layout t in
+  let nrefs = Heap_obj.nrefs obj in
+  let upto = min nrefs (from_slot + scan_chunk) in
+  let cost =
+    ref
+      (if from_slot = 0 then
+         Machine.load_range t.machine ~core:t.gc_core obj.Heap_obj.addr
+           lay.Layout.header_bytes
+       else 0)
+  in
+  if upto < nrefs then Vec.push t.mark_stack (obj, upto);
+  if upto > from_slot then
+    cost :=
+      !cost
+      + Machine.load_range t.machine ~core:t.gc_core
+          (Heap_obj.ref_slot_addr ~layout:lay obj from_slot)
+          ((upto - from_slot) * lay.Layout.word_bytes);
+  for slot = from_slot to upto - 1 do
+    cost := !cost + Cost.scan_slot;
+    let ptr = Heap_obj.get_ref obj slot in
+    if not (Addr.is_null ptr) then begin
+      (* The R colour proves a mutator touched this pointer since STW3 of
+         the previous cycle — the referent is hot (§3.1.2). *)
+      let was_r = Addr.has_color Addr.R ptr in
+      let target = resolve t ~who:Gc ~cost (Addr.addr ptr) in
+      if was_r then
+        cost := !cost + flag_hot t ~page:(page_of_obj t target) target;
+      cost := !cost + mark_object t target;
+      let healed = Addr.make t.good target.Heap_obj.addr in
+      if healed <> ptr then begin
+        Heap_obj.set_ref obj slot healed;
+        cost :=
+          !cost + Machine.store t.machine ~core:t.gc_core (slot_addr t obj slot)
+      end
+    end
+  done;
+  !cost
+
+(* ------------------------------------------------------------------ *)
+(* EC selection (§3.1)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ec_key t (page : Page.t) =
+  if t.config.Config.hotness && t.dyn_cold_confidence > 0.0 then
+    Page.weighted_live_bytes page ~cold_confidence:t.dyn_cold_confidence
+  else page.Page.live_bytes
+
+(* Select evacuation candidates among pages of [cls], marking them In_ec.
+   Returns the number selected and the selection cost. *)
+let select_class t ~cls ~page_size =
+  let candidates = Vec.create () in
+  Heap.iter_pages t.heap (fun page ->
+      if
+        page.Page.cls = cls
+        && page.Page.state = Page.Active
+        && page.Page.birth_cycle < t.cycle_no
+        && not page.Page.is_alloc_target
+      then Vec.push candidates page);
+  let cost = ref (Vec.length candidates * Cost.ec_select_per_page) in
+  let relocate_all =
+    cls = Layout.Small && t.config.Config.relocate_all_small_pages
+  in
+  let selected = Vec.create () in
+  if relocate_all then Vec.iter (fun p -> Vec.push selected p) candidates
+  else begin
+    (* ZGC baseline, with WLB substituted for live bytes under HOTNESS +
+       COLDCONFIDENCE (§3.1.3): every page whose (weighted) occupancy is
+       below the 75% threshold is selected, sorted sparsest first so the
+       cheapest reclamation happens earliest.  (The paper also states a
+       prefix-budget formula; taken literally it would cap the relocated
+       live bytes at 3/4 of a single page, which contradicts the EC sizes
+       its own Fig. 4 reports, so we follow ZGC's
+       threshold-filter-selects-all behaviour — see DESIGN.md.) *)
+    let threshold = 3 * page_size / 4 in
+    let eligible =
+      Vec.to_list candidates
+      |> List.filter_map (fun p ->
+             let key = ec_key t p in
+             if key < threshold then Some (key, p) else None)
+    in
+    let sorted =
+      List.sort
+        (fun (k1, (p1 : Page.t)) (k2, (p2 : Page.t)) ->
+          match compare k1 k2 with 0 -> compare p1.Page.id p2.Page.id | c -> c)
+        eligible
+    in
+    List.iter (fun (_, page) -> Vec.push selected page) sorted
+  end;
+  Vec.iter (fun (page : Page.t) -> page.Page.state <- Page.In_ec) selected;
+  (* Debug aid: HCSGC_DEBUG_EC=1 dumps per-candidate liveness/hotness and
+     the selection outcome to stderr each cycle. *)
+  if (try Sys.getenv "HCSGC_DEBUG_EC" = "1" with Not_found -> false)
+     && cls = Layout.Small then begin
+    Printf.eprintf "cycle %d: %d candidates\n" t.cycle_no (Vec.length candidates);
+    Vec.iter (fun (p : Page.t) ->
+      Printf.eprintf "  page#%d birth=%d live=%d hot=%d key=%d sel=%b tgt=%b\n"
+        p.Page.id p.Page.birth_cycle p.Page.live_bytes p.Page.hot_bytes
+        (ec_key t p) (p.Page.state = Page.In_ec) p.Page.is_alloc_target)
+      candidates
+  end;
+  (Vec.to_list selected, !cost)
+
+(* STW2 + EC selection + STW3, performed when marking has drained. *)
+let finish_mark t =
+  assert (t.phase = Marking);
+  assert (Vec.is_empty t.mark_stack);
+  Gc_stats.on_stw t.stats;
+  Gc_stats.on_stw t.stats;
+  t.listener
+    (Gc_log.Pause
+       { cycle = t.cycle_no; pause = Gc_log.STW2; cost = Cost.stw_pause });
+  t.listener
+    (Gc_log.Mark_end
+       { cycle = t.cycle_no;
+         marked_objects =
+           Gc_stats.objects_marked t.stats - t.marked_at_cycle_start });
+  let cost = ref (2 * Cost.stw_pause) in
+  (* Retire forwarding tables installed before this cycle: marking has
+     remapped every live pointer into them, so their address ranges can be
+     recycled. *)
+  let keep = Vec.create () in
+  Vec.iter
+    (fun (freed_cycle, page) ->
+      if freed_cycle < t.cycle_no then begin
+        let granule_bytes = Layout.granule (layout t) in
+        let first = page.Page.start / granule_bytes in
+        let last = (page.Page.start + page.Page.size - 1) / granule_bytes in
+        for g = first to last do
+          match Hashtbl.find_opt t.fwd_index g with
+          | Some p when p == page -> Hashtbl.remove t.fwd_index g
+          | _ -> ()
+        done;
+        Heap.recycle_range t.heap page
+      end
+      else Vec.push keep (freed_cycle, page))
+    t.retire_queue;
+  Vec.clear t.retire_queue;
+  Vec.iter (fun e -> Vec.push t.retire_queue e) keep;
+  (* EC selection. *)
+  let small, small_cost =
+    select_class t ~cls:Layout.Small ~page_size:(layout t).Layout.small_page
+  in
+  let medium, medium_cost =
+    select_class t ~cls:Layout.Medium ~page_size:(layout t).Layout.medium_page
+  in
+  cost := !cost + small_cost + medium_cost;
+  Gc_stats.on_ec_selected t.stats ~small:(List.length small)
+    ~medium:(List.length medium);
+  t.listener
+    (Gc_log.Ec_selected
+       { cycle = t.cycle_no; small = List.length small;
+         medium = List.length medium });
+  (* STW3: flip good colour to R; relocate roots pointing into EC. *)
+  t.good <- Addr.R;
+  List.iter
+    (fun root ->
+      cost := !cost + Cost.root_fixup;
+      let page = page_of_obj t root in
+      if page.Page.state = Page.In_ec then
+        cost := !cost + relocate t ~who:Gc root page)
+    (t.roots ());
+  let ec = small @ medium in
+  t.listener
+    (Gc_log.Pause
+       { cycle = t.cycle_no; pause = Gc_log.STW3; cost = Cost.stw_pause });
+  if t.config.Config.lazy_relocate then begin
+    (* Fig. 3: hand the whole relocation set to the mutators until the next
+       cycle starts. *)
+    List.iter (fun p -> Vec.push t.pending_ec p) ec;
+    t.listener
+      (Gc_log.Relocation_deferred
+         { cycle = t.cycle_no; pages = List.length ec });
+    t.phase <- Idle;
+    t.listener
+      (Gc_log.Cycle_end
+         { cycle = t.cycle_no; wall = t.wall_hint;
+           heap_used = Heap.used_bytes t.heap });
+    sample_heap t
+  end
+  else begin
+    List.iter (fun p -> Vec.push t.relo_queue p) ec;
+    t.phase <- Relocating
+  end;
+  !cost
+
+(* Free a fully evacuated page and keep its forwarding table reachable for
+   stale-pointer remapping until retirement. *)
+let release_page t (page : Page.t) =
+  t.listener
+    (Gc_log.Page_freed
+       { cycle = t.cycle_no; page_id = page.Page.id; bytes = page.Page.size });
+  Heap.free_page t.heap page;
+  let granule_bytes = Layout.granule (layout t) in
+  let first = page.Page.start / granule_bytes in
+  let last = (page.Page.start + page.Page.size - 1) / granule_bytes in
+  for g = first to last do
+    Hashtbl.replace t.fwd_index g page
+  done;
+  Vec.push t.retire_queue (t.cycle_no, page);
+  Gc_stats.on_page_freed t.stats
+
+(* One GC relocation step: evacuate the next live object of the current
+   page, or finish the page.  Returns (cost, made_progress). *)
+let relo_step t =
+  match t.relo_cur with
+  | None -> (
+      match Vec.pop t.relo_queue with
+      | None -> (0, false)
+      | Some page ->
+          let victims = Vec.create () in
+          Page.iter_live page (fun obj -> Vec.push victims obj);
+          t.relo_cur <-
+            Some { relo_page = page; victims = Vec.to_array victims; next = 0 };
+          (Cost.fwd_lookup, true))
+  | Some cur ->
+      if cur.next >= Array.length cur.victims then begin
+        release_page t cur.relo_page;
+        t.relo_cur <- None;
+        (Cost.fwd_lookup, true)
+      end
+      else begin
+        let obj = cur.victims.(cur.next) in
+        cur.next <- cur.next + 1;
+        (* The mutator may have beaten us to it (the relocation race). *)
+        if Page.contains cur.relo_page obj.Heap_obj.addr then
+          (relocate t ~who:Gc obj cur.relo_page, true)
+        else (Cost.fwd_lookup, true)
+      end
+
+let gc_work t ~budget =
+  let gc = ref 0 and stw = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !gc < budget do
+    (* Relocation first (Fig. 3: a cycle starts by releasing memory). *)
+    let cost, progressed = relo_step t in
+    gc := !gc + cost;
+    if progressed then ()
+    else begin
+      match t.phase with
+      | Marking -> (
+          match Vec.pop t.mark_stack with
+          | Some (obj, from_slot) -> gc := !gc + scan_object t obj from_slot
+          | None -> stw := !stw + finish_mark t)
+      | Relocating ->
+          (* Queue drained and no page in progress: the cycle is done. *)
+          t.phase <- Idle;
+          t.listener
+            (Gc_log.Cycle_end
+               { cycle = t.cycle_no; wall = t.wall_hint;
+                 heap_used = Heap.used_bytes t.heap });
+          sample_heap t;
+          continue_ := false
+      | Idle -> continue_ := false
+    end
+  done;
+  { gc = !gc; stw = !stw }
+
+let in_cycle t = t.phase <> Idle
+
+let pending_relocation_pages t =
+  Vec.length t.pending_ec + Vec.length t.relo_queue
+  + (match t.relo_cur with Some _ -> 1 | None -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant verification (tests & debugging)                          *)
+(* ------------------------------------------------------------------ *)
+
+let verify t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let granule_bytes = Layout.granule (layout t) in
+  (* Page-level invariants. *)
+  let used = ref 0 in
+  Heap.iter_pages t.heap (fun page ->
+      used := !used + page.Page.size;
+      (match Heap.page_of_addr t.heap page.Page.start with
+      | Some p when p == page -> ()
+      | _ -> err "page #%d not mapped at its own start" page.Page.id);
+      Hashtbl.iter
+        (fun offset (obj : Heap_obj.t) ->
+          if obj.Heap_obj.addr <> page.Page.start + offset then
+            err "object #%d registered at offset %d but addr=0x%x on page #%d"
+              obj.Heap_obj.id offset obj.Heap_obj.addr page.Page.id;
+          if obj.Heap_obj.addr + obj.Heap_obj.size > page.Page.start + page.Page.top
+          then
+            err "object #%d extends past the bump pointer of page #%d"
+              obj.Heap_obj.id page.Page.id)
+        page.Page.objects);
+  if !used <> Heap.used_bytes t.heap then
+    err "used_bytes accounting: pages sum to %d, heap reports %d" !used
+      (Heap.used_bytes t.heap);
+  (* Forwarding-index granules must be unmapped until retirement. *)
+  Hashtbl.iter
+    (fun granule (_ : Page.t) ->
+      match Heap.page_of_addr t.heap (granule * granule_bytes) with
+      | Some p ->
+          err "fwd-index granule %d still mapped to live page #%d" granule
+            p.Page.id
+      | None -> ())
+    t.fwd_index;
+  (* Reachability: every ref slot of every reachable object must resolve to
+     a registered object, possibly through forwarding. *)
+  let seen = Hashtbl.create 1024 in
+  let rec trace (obj : Heap_obj.t) =
+    if not (Hashtbl.mem seen obj.Heap_obj.id) then begin
+      Hashtbl.add seen obj.Heap_obj.id ();
+      Array.iteri
+        (fun slot ptr ->
+          if not (Addr.is_null ptr) then begin
+            (match Addr.color ptr with
+            | (_ : Addr.color) -> ()
+            | exception Invalid_argument _ ->
+                err "object #%d slot %d holds a malformed pointer"
+                  obj.Heap_obj.id slot);
+            let rec chase addr depth =
+              if depth > 4 then
+                err "forwarding chain too deep from object #%d slot %d"
+                  obj.Heap_obj.id slot
+              else
+                match Hashtbl.find_opt t.fwd_index (addr / granule_bytes) with
+                | Some old_page -> (
+                    match
+                      Fwd_table.find old_page.Page.fwd
+                        ~offset:(addr - old_page.Page.start)
+                    with
+                    | Some fwd -> chase fwd (depth + 1)
+                    | None ->
+                        err "object #%d slot %d: stale 0x%x has no forwarding"
+                          obj.Heap_obj.id slot addr)
+                | None -> (
+                    match Heap.page_of_addr t.heap addr with
+                    | None ->
+                        err "object #%d slot %d points at unmapped 0x%x"
+                          obj.Heap_obj.id slot addr
+                    | Some page -> (
+                        match
+                          Page.find_object page ~offset:(addr - page.Page.start)
+                        with
+                        | Some target -> trace target
+                        | None -> (
+                            match
+                              Fwd_table.find page.Page.fwd
+                                ~offset:(addr - page.Page.start)
+                            with
+                            | Some fwd -> chase fwd (depth + 1)
+                            | None ->
+                                err
+                                  "object #%d slot %d points at 0x%x with no \
+                                   object or forwarding"
+                                  obj.Heap_obj.id slot addr)))
+            in
+            chase (Addr.addr ptr) 0
+          end)
+        obj.Heap_obj.refs
+    end
+  in
+  List.iter trace (t.roots ());
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let drain t =
+  (* Complete the in-flight cycle, then — if a LAZYRELOCATE set is pending —
+     run one more full cycle so its leading RE pass releases the floating
+     garbage.  Deliberately bounded: under RELOCATEALLSMALLPAGES + LAZY
+     every cycle ends with a fresh pending set, so "drain until nothing is
+     pending" would never terminate. *)
+  let gc = ref 0 and stw = ref 0 in
+  let absorb (w : work) =
+    gc := !gc + w.gc;
+    stw := !stw + w.stw
+  in
+  let finish_cycle () =
+    while in_cycle t do
+      absorb (gc_work t ~budget:max_int)
+    done
+  in
+  finish_cycle ();
+  if pending_relocation_pages t > 0 then begin
+    absorb (start_cycle t);
+    finish_cycle ()
+  end;
+  { gc = !gc; stw = !stw }

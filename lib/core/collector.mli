@@ -1,0 +1,146 @@
+(** The HCSGC collector: ZGC's concurrent mark-compact cycle (§2) extended
+    with hotness tracking, weighted-live-bytes EC selection, lazy relocation
+    and hot/cold segregation (§3).
+
+    The collector owns the good-colour state machine, the mark work list, EC
+    selection and the relocation machinery.  "Concurrency" is cooperative:
+    the embedding VM calls {!gc_work} with a cycle budget whenever the
+    mutator passes a safepoint, which models GC threads running on a spare
+    core.  Mutator loads and stores enter through the barrier functions
+    here; every function returns the simulated cycle cost it incurred on the
+    calling thread.
+
+    {2 Colour windows (Fig. 2)}
+
+    STW1 flips the good colour to the next mark colour (M0/M1 alternating);
+    STW3 flips it to R.  A pointer whose colour is not good traps in the
+    slow path: during marking it is remapped, marked and (for mutators)
+    hotness-flagged; during relocation it triggers copying of objects on
+    evacuation-candidate pages — by whichever thread gets there first, which
+    for mutators lays objects out in access order (§3.2). *)
+
+module Heap = Hcsgc_heap.Heap
+module Heap_obj = Hcsgc_heap.Heap_obj
+module Page = Hcsgc_heap.Page
+module Addr = Hcsgc_heap.Addr
+module Machine = Hcsgc_memsim.Machine
+
+type t
+
+type phase =
+  | Idle  (** between cycles (relocation may still be pending under
+              LAZYRELOCATE — mutators keep copying on access) *)
+  | Marking  (** between STW1 and STW2 *)
+  | Relocating  (** between STW3 and the end of the RE pass *)
+
+type work = {
+  gc : int;  (** cycles of concurrent GC-thread work *)
+  stw : int;  (** cycles of stop-the-world pauses (always hit wall time) *)
+}
+
+exception Out_of_memory
+exception Invalid_handle of string
+(** Raised when a workload uses a handle to an object the collector has
+    reclaimed — i.e. the workload broke the rooting discipline. *)
+
+val create :
+  ?listener:(Gc_log.event -> unit) ->
+  heap:Heap.t ->
+  machine:Machine.t ->
+  config:Config.t ->
+  gc_core:int ->
+  roots:(unit -> Heap_obj.t list) ->
+  unit ->
+  t
+(** [listener] receives structured GC events ({!Gc_log}); defaults to a
+    no-op. *)
+
+val heap : t -> Heap.t
+val config : t -> Config.t
+val stats : t -> Gc_stats.t
+val phase : t -> phase
+val good_color : t -> Addr.color
+val cycle_number : t -> int
+(** Number of the last started cycle (0 before the first). *)
+
+(** {2 Mutator interface} *)
+
+val alloc :
+  t -> core:int -> nrefs:int -> nwords:int -> (Heap_obj.t * int) option
+(** Allocate an object (choosing the page class per Table 1) from the
+    per-core bump page.  Returns the object and the mutator cycle cost, or
+    [None] if the heap limit is hit — the caller should force a collection
+    and retry. *)
+
+val use_handle : t -> core:int -> Heap_obj.t -> int
+(** The {e handle barrier}: declares that the mutator is about to access the
+    object through a VM-level handle (the analogue of a register-held
+    pointer).  Maintains the to-space invariant — if the object sits on an
+    evacuation-candidate page the mutator relocates it now, in access order —
+    and flags hotness.  Returns the cycle cost. *)
+
+val load_ref :
+  t -> core:int -> Heap_obj.t -> slot:int -> Heap_obj.t option * int
+(** [load_ref t ~core src ~slot] loads reference slot [slot] of [src] through
+    the load barrier: good colour is the no-extra-work fast path; otherwise
+    the slow path remaps/marks/relocates, flags hotness, and self-heals the
+    slot.  Returns the referent (None for null) and the cycle cost. *)
+
+val store_ref :
+  t -> core:int -> Heap_obj.t -> slot:int -> Heap_obj.t option -> int
+(** [store_ref t ~core src ~slot target] writes [target] (or null) into
+    [src.refs.(slot)] with the good colour.  During marking the stored
+    referent is marked (keeping unregistered handles from hiding objects).
+    Returns the cycle cost. *)
+
+(** {2 GC driving (called from VM safepoints)} *)
+
+val needs_cycle : t -> trigger:float -> bool
+(** True when idle and either [trigger] × max-heap bytes have been allocated
+    since the last cycle started (the deterministic stand-in for ZGC's
+    allocation-rate pacing) or heap usage passed a high-water backstop. *)
+
+val start_cycle : t -> work
+(** Perform STW1: flip the mark colour, reset per-page mark state, seed the
+    mark stack from roots, and (under LAZYRELOCATE) enqueue the previous
+    cycle's pending relocation set.
+    @raise Invalid_argument if a cycle is in progress. *)
+
+val gc_work : t -> budget:int -> work
+(** Run GC-thread work (relocation first — Fig. 3 — then marking) for up to
+    [budget] cycles; performs the STW2 / EC-selection / STW3 transition and
+    the end-of-cycle transition when work runs out.  Idempotent when there is
+    nothing to do. *)
+
+val drain : t -> work
+(** Complete the in-flight cycle; if a LAZYRELOCATE evacuation set is still
+    pending afterwards, run one more full cycle so its leading RE pass
+    releases the floating garbage.  Bounded by design — under
+    RELOCATEALLSMALLPAGES + LAZY every cycle ends with a fresh pending set,
+    so an unbounded drain would not terminate. *)
+
+val in_cycle : t -> bool
+
+val set_wall_hint : t -> int -> unit
+(** Let the VM tell the collector the current wall clock, so heap-usage
+    samples (§4.2's heap-usage-over-time plot) carry timestamps. *)
+
+val cold_confidence : t -> float
+(** The COLDCONFIDENCE currently in effect (the configured value unless a
+    feedback loop has retuned it). *)
+
+val set_cold_confidence : t -> float -> unit
+(** Retune COLDCONFIDENCE at run time (the {!Autotuner} feedback loop,
+    §4.8).  @raise Invalid_argument if HOTNESS is off or the value is
+    outside [0, 1]. *)
+
+val pending_relocation_pages : t -> int
+(** Pages selected for evacuation and not yet fully evacuated (includes the
+    LAZYRELOCATE carry-over while idle). *)
+
+val verify : t -> (unit, string list) result
+(** Walk the heap and check structural invariants: object registration
+    matches addresses, page accounting is consistent, forwarding-table
+    index granules are unmapped, reachable reference slots resolve to
+    registered objects, and coloured pointers are well-formed.  Intended
+    for tests and debugging; O(heap). *)

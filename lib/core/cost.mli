@@ -1,0 +1,48 @@
+(** The cycle-cost model.
+
+    Memory latencies come from the cache simulator; everything else an
+    operation does (barrier checks, CAS, table operations, copying loop
+    overhead) is charged from these constants.  Values are rough
+    client-core figures; the *relative* magnitudes are what matters for
+    reproducing the paper's shapes (e.g. a hotmap CAS is noticeable but
+    small, a STW pause is large but amortised). *)
+
+val op_base : int
+(** Base cost of one mutator operation besides its memory accesses. *)
+
+val alloc : int
+(** Bump-pointer allocation fast path. *)
+
+val alloc_page : int
+(** Fetching a fresh page (map + zeroing amortisation). *)
+
+val barrier_slow : int
+(** Load-barrier slow-path entry (branch miss + call). *)
+
+val hotmap_cas : int
+(** First-touch hotness CAS (§4.1: "the overhead of updating the hotmap
+    which in its current implementation involves a CAS operation"). *)
+
+val fwd_lookup : int
+(** Forwarding-table probe. *)
+
+val fwd_insert : int
+(** Forwarding-table CAS insertion (the relocation linearisation point). *)
+
+val relocate_fixed : int
+(** Per-object relocation overhead besides the copy itself. *)
+
+val mark_object : int
+(** Marking an object (livemap bit + bookkeeping). *)
+
+val scan_slot : int
+(** Per-slot work while the GC traces an object. *)
+
+val stw_pause : int
+(** Fixed cost of one stop-the-world pause, charged to wall time. *)
+
+val root_fixup : int
+(** Per-root work inside a STW pause. *)
+
+val ec_select_per_page : int
+(** Per-candidate-page work during EC selection. *)

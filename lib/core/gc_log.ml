@@ -1,0 +1,74 @@
+type pause = STW1 | STW2 | STW3
+
+type event =
+  | Cycle_start of { cycle : int; wall : int; heap_used : int }
+  | Pause of { cycle : int; pause : pause; cost : int }
+  | Mark_end of { cycle : int; marked_objects : int }
+  | Ec_selected of { cycle : int; small : int; medium : int }
+  | Relocation_deferred of { cycle : int; pages : int }
+  | Page_freed of { cycle : int; page_id : int; bytes : int }
+  | Cycle_end of { cycle : int; wall : int; heap_used : int }
+
+type recorder = {
+  buf : event option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let recorder ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Gc_log.recorder: capacity must be positive";
+  { buf = Array.make capacity None; next = 0; total = 0 }
+
+let listen r event =
+  r.buf.(r.next) <- Some event;
+  r.next <- (r.next + 1) mod Array.length r.buf;
+  r.total <- r.total + 1
+
+let events r =
+  let cap = Array.length r.buf in
+  let out = ref [] in
+  for i = 0 to cap - 1 do
+    match r.buf.((r.next + i) mod cap) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  List.rev !out
+
+let count r = r.total
+
+let clear r =
+  Array.fill r.buf 0 (Array.length r.buf) None;
+  r.next <- 0;
+  r.total <- 0
+
+let pause_name = function
+  | STW1 -> "Pause Mark Start"
+  | STW2 -> "Pause Mark End"
+  | STW3 -> "Pause Relocate Start"
+
+let pp_event fmt = function
+  | Cycle_start { cycle; wall; heap_used } ->
+      Format.fprintf fmt "[gc] GC(%d) Garbage Collection start (wall=%d used=%dK)"
+        cycle wall (heap_used / 1024)
+  | Pause { cycle; pause; cost } ->
+      Format.fprintf fmt "[gc] GC(%d) %s %dc" cycle (pause_name pause) cost
+  | Mark_end { cycle; marked_objects } ->
+      Format.fprintf fmt "[gc] GC(%d) Concurrent Mark end: %d objects" cycle
+        marked_objects
+  | Ec_selected { cycle; small; medium } ->
+      Format.fprintf fmt
+        "[gc] GC(%d) Relocation Set: %d small, %d medium pages" cycle small
+        medium
+  | Relocation_deferred { cycle; pages } ->
+      Format.fprintf fmt
+        "[gc] GC(%d) Relocation deferred to next cycle (%d pages, lazy)" cycle
+        pages
+  | Page_freed { cycle; page_id; bytes } ->
+      Format.fprintf fmt "[gc] GC(%d) Page freed: #%d (%dK)" cycle page_id
+        (bytes / 1024)
+  | Cycle_end { cycle; wall; heap_used } ->
+      Format.fprintf fmt "[gc] GC(%d) Garbage Collection end (wall=%d used=%dK)"
+        cycle wall (heap_used / 1024)
+
+let pp fmt r =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events r)

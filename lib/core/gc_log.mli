@@ -1,0 +1,42 @@
+(** Structured GC event log — the analogue of ZGC's [-Xlog:gc*] output,
+    which the paper extends to report per-cycle EC sizes (§4.2).
+
+    The collector emits events through an optional listener; this module
+    provides the event type, a bounded in-memory recorder, and ZGC-style
+    one-line rendering.  Recording is off unless a listener is installed,
+    so the default fast path pays nothing. *)
+
+type pause = STW1 | STW2 | STW3
+
+type event =
+  | Cycle_start of { cycle : int; wall : int; heap_used : int }
+  | Pause of { cycle : int; pause : pause; cost : int }
+  | Mark_end of { cycle : int; marked_objects : int }
+  | Ec_selected of { cycle : int; small : int; medium : int }
+  | Relocation_deferred of { cycle : int; pages : int }
+      (** LAZYRELOCATE handed the evacuation set to the mutators. *)
+  | Page_freed of { cycle : int; page_id : int; bytes : int }
+  | Cycle_end of { cycle : int; wall : int; heap_used : int }
+
+type recorder
+
+val recorder : ?capacity:int -> unit -> recorder
+(** A bounded recorder (default capacity 4096 events; older events are
+    dropped first). *)
+
+val listen : recorder -> event -> unit
+(** The listener to hand to {!Collector.create}. *)
+
+val events : recorder -> event list
+(** Recorded events, oldest first. *)
+
+val count : recorder -> int
+(** Events recorded (including any that were dropped). *)
+
+val clear : recorder -> unit
+
+val pp_event : Format.formatter -> event -> unit
+(** One line per event, ZGC-log style: ["[gc] GC(3) Pause Mark Start 20000c"]. *)
+
+val pp : Format.formatter -> recorder -> unit
+(** Render every recorded event. *)

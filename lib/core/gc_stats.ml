@@ -1,0 +1,95 @@
+module Vec = Hcsgc_util.Vec
+
+type cycle_record = {
+  cycle : int;
+  small_pages_in_ec : int;
+  medium_pages_in_ec : int;
+  wall_at_start : int;
+}
+
+type t = {
+  records : cycle_record Vec.t;
+  mutable allocated : int;
+  mutable relocated_mutator : int;
+  mutable relocated_gc : int;
+  mutable bytes_relocated : int;
+  mutable pages_freed : int;
+  mutable marked : int;
+  mutable hot_flags : int;
+  mutable stw : int;
+  samples : (int * int) Vec.t;
+}
+
+let create () =
+  {
+    records = Vec.create ();
+    allocated = 0;
+    relocated_mutator = 0;
+    relocated_gc = 0;
+    bytes_relocated = 0;
+    pages_freed = 0;
+    marked = 0;
+    hot_flags = 0;
+    stw = 0;
+    samples = Vec.create ();
+  }
+
+let on_cycle_start t ~wall =
+  let cycle = Vec.length t.records + 1 in
+  Vec.push t.records
+    { cycle; small_pages_in_ec = 0; medium_pages_in_ec = 0; wall_at_start = wall };
+  cycle
+
+let on_ec_selected t ~small ~medium =
+  let n = Vec.length t.records in
+  if n = 0 then invalid_arg "Gc_stats.on_ec_selected: no cycle in progress";
+  let r = Vec.get t.records (n - 1) in
+  Vec.set t.records (n - 1)
+    { r with small_pages_in_ec = small; medium_pages_in_ec = medium }
+
+let on_alloc t ~bytes = t.allocated <- t.allocated + bytes
+
+let on_relocate t ~by_mutator ~bytes =
+  if by_mutator then t.relocated_mutator <- t.relocated_mutator + 1
+  else t.relocated_gc <- t.relocated_gc + 1;
+  t.bytes_relocated <- t.bytes_relocated + bytes
+
+let on_page_freed t = t.pages_freed <- t.pages_freed + 1
+let on_mark t = t.marked <- t.marked + 1
+let on_hot_flag t = t.hot_flags <- t.hot_flags + 1
+let on_stw t = t.stw <- t.stw + 1
+let on_heap_sample t ~wall ~used = Vec.push t.samples (wall, used)
+
+let cycles t = Vec.length t.records
+let cycle_records t = Vec.to_list t.records
+
+let median_small_pages_in_ec t =
+  if Vec.is_empty t.records then 0.0
+  else begin
+    let xs =
+      Vec.to_array t.records |> Array.map (fun r -> r.small_pages_in_ec)
+    in
+    Array.sort compare xs;
+    let n = Array.length xs in
+    if n mod 2 = 1 then float_of_int xs.(n / 2)
+    else float_of_int (xs.((n / 2) - 1) + xs.(n / 2)) /. 2.0
+  end
+
+let bytes_allocated t = t.allocated
+
+let objects_relocated_by_mutator t = t.relocated_mutator
+let objects_relocated_by_gc t = t.relocated_gc
+let bytes_relocated t = t.bytes_relocated
+let pages_freed t = t.pages_freed
+let objects_marked t = t.marked
+let hot_flags t = t.hot_flags
+let stw_pauses t = t.stw
+let heap_samples t = Vec.to_list t.samples
+
+let pp fmt t =
+  Format.fprintf fmt
+    "gc{cycles=%d ec_median=%.1f reloc_mut=%d reloc_gc=%d freed=%d marked=%d \
+     hot=%d stw=%d}"
+    (cycles t)
+    (median_small_pages_in_ec t)
+    t.relocated_mutator t.relocated_gc t.pages_freed t.marked t.hot_flags t.stw

@@ -1,0 +1,57 @@
+(** GC statistics, mirroring §4.2 "GC Statistics": GC cycles per run, small
+    pages selected for evacuation per cycle (the paper reports the median
+    over cycles, averaged over runs), plus relocation attribution
+    (mutator vs GC threads) and heap-usage samples over time. *)
+
+type t
+
+type cycle_record = {
+  cycle : int;  (** sequence number, 1-based *)
+  small_pages_in_ec : int;
+  medium_pages_in_ec : int;
+  wall_at_start : int;  (** wall clock (cycles) when the GC cycle began *)
+}
+
+val create : unit -> t
+
+val on_cycle_start : t -> wall:int -> int
+(** Record a cycle start; returns the new cycle sequence number. *)
+
+val on_ec_selected : t -> small:int -> medium:int -> unit
+(** Record the EC size chosen in the current cycle. *)
+
+val on_alloc : t -> bytes:int -> unit
+(** Record an object allocation (cumulative bytes). *)
+
+val on_relocate : t -> by_mutator:bool -> bytes:int -> unit
+val on_page_freed : t -> unit
+val on_mark : t -> unit
+val on_hot_flag : t -> unit
+val on_stw : t -> unit
+val on_heap_sample : t -> wall:int -> used:int -> unit
+
+val cycles : t -> int
+(** Completed-or-started GC cycles. *)
+
+val cycle_records : t -> cycle_record list
+(** Oldest first. *)
+
+val median_small_pages_in_ec : t -> float
+(** Median over cycles of small pages selected for evacuation (the per-run
+    number the paper averages). 0 if no cycles ran. *)
+
+val bytes_allocated : t -> int
+(** Cumulative object bytes allocated over the run. *)
+
+val objects_relocated_by_mutator : t -> int
+val objects_relocated_by_gc : t -> int
+val bytes_relocated : t -> int
+val pages_freed : t -> int
+val objects_marked : t -> int
+val hot_flags : t -> int
+val stw_pauses : t -> int
+
+val heap_samples : t -> (int * int) list
+(** [(wall, used_bytes)] samples, oldest first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(** Ablations of the design choices DESIGN.md calls out — not figures from
+    the paper, but checks that the reproduction's mechanisms carry the load
+    the paper attributes to them.
+
+    - {!prefetcher}: HCSGC's access-order layouts are claimed to be
+      "prefetching friendly" (§1, §3); with the stream prefetcher disabled,
+      most of the big-EC+lazy speedup should vanish.
+    - {!tlb}: packing hot objects onto fewer pages also reduces dTLB
+      pressure (the page-locality angle of Chen et al. discussed in §5).
+    - {!autotuner}: the §4.8 feedback loop should land within the ballpark
+      of the best hand-tuned COLDCONFIDENCE without knowing it in advance.
+
+    - {!page_size}: §3.4/§4.8 suggest a finer page size class would allow
+      finer-grained relocation; sweeping the (scaled) page size shows the
+      granularity effect directly. *)
+
+val prefetcher : ?runs:int -> ?scale:int -> Format.formatter -> unit
+val tlb : ?runs:int -> ?scale:int -> Format.formatter -> unit
+val autotuner : ?runs:int -> ?scale:int -> Format.formatter -> unit
+val page_size : ?runs:int -> ?scale:int -> Format.formatter -> unit

@@ -1,0 +1,11 @@
+(** Reproduction of the SPECjbb2015 figure (§4.7, Fig. 13): throughput
+    (max-jOPS-like) and latency (critical-jOPS-like) scores per
+    configuration, plus the baseline heap-usage-over-time series.
+
+    Expected shape: overlapping confidence intervals (no conclusive HCSGC
+    effect — survival rate ≈ 1 %), and heap usage that grows over the run
+    as the injector ramps the allocation rate. *)
+
+val fig13 : ?runs:int -> ?scale:int -> Format.formatter -> unit
+
+val experiment_params : scale:int -> Hcsgc_workloads.Specjbb_sim.params

@@ -1,0 +1,74 @@
+module Vm = Hcsgc_runtime.Vm
+module Layout = Hcsgc_heap.Layout
+module Synthetic = Hcsgc_workloads.Synthetic
+
+let layout = Layout.scaled ~small_page:(64 * 1024)
+
+let experiment ?(phases = 1) ?(cold_ratio = 0) ?(saturated = false)
+    ?(heap_mult = 5) ~scale () =
+  let base = Synthetic.default in
+  let elements = max 1_000 (base.Synthetic.elements / scale) in
+  let params =
+    {
+      base with
+      Synthetic.elements;
+      accesses_per_loop = max 1_000 (base.Synthetic.accesses_per_loop / scale);
+      phases;
+      loops = (if phases = 1 then base.Synthetic.loops else 12 * phases);
+      cold_elements = cold_ratio * elements;
+    }
+  in
+  (* Heap: a fixed multiple of the live set (elements + cold array + slot
+     arrays), so that GC-cycle pacing per loop is scale-invariant — the
+     figure's shape depends on the ratio of mutator accesses to relocation
+     work per cycle, which this keeps constant across --scale settings. *)
+  let live_bytes = (1 + cold_ratio) * elements * 48 in
+  let max_heap = max (4 * 1024 * 1024) (heap_mult * live_bytes) in
+  {
+    Runner.name =
+      Printf.sprintf "synthetic(phases=%d,cold=%dx%s)" phases cold_ratio
+        (if saturated then ",saturated" else "");
+    make_vm =
+      (fun config ->
+        Vm.create ~layout ~machine_config:Scaled_machine.config ~saturated
+          ~config ~max_heap ());
+    workload =
+      (fun vm ~run ->
+        ignore (Synthetic.run vm { params with Synthetic.seed = run }));
+  }
+
+let render fmt ~title ~expectation ~runs exp =
+  let results =
+    Runner.run_configs ~runs
+      ~progress:(fun msg -> Format.eprintf "[bench] %s@." msg)
+      exp
+  in
+  Report.figure fmt ~title ~expectation results
+
+let fig4 ?(runs = 5) ?(scale = 1) fmt =
+  render fmt ~title:"Fig. 4 — synthetic, single phase"
+    ~expectation:
+      "largest speedups for configs 4/10/16/18 (big EC + lazy), next 3/17, \
+       some improvement 7/13, none for 2/5/8/11/14; large L1/LLC miss \
+       reductions for improving configs; loads increase but are cache-served"
+    ~runs
+    (experiment ~scale ())
+
+let fig5 ?(runs = 5) ?(scale = 1) fmt =
+  render fmt ~title:"Fig. 5 — synthetic, three phases"
+    ~expectation:
+      "same shape as Fig. 4: HCSGC adapts to phase changes (per-phase stable \
+       access orders are re-captured after each change)"
+    ~runs
+    (experiment ~phases:3 ~scale ())
+
+let fig6 ?(runs = 3) ?(scale = 2) fmt =
+  render fmt ~title:"Fig. 6 — ample relocation, saturated single core"
+    ~expectation:
+      "large overhead for RELOCATEALLSMALLPAGES configs 3/4/17/18 (copying \
+       the 10x cold population on the critical path); COLDCONFIDENCE configs \
+       7/10/13/16 still improve"
+    ~runs
+    (* The tighter heap paces cycles frequently, so the 10x cold population
+       is re-evacuated repeatedly — the overhead Fig. 6 is about. *)
+    (experiment ~cold_ratio:10 ~saturated:true ~heap_mult:2 ~scale ())

@@ -1,0 +1,24 @@
+(** Reproductions of the synthetic-benchmark figures.
+
+    - {!fig4}: single stable access phase (§4.4, Fig. 4);
+    - {!fig5}: three phases with per-phase seeds (Fig. 5);
+    - {!fig6}: ample-relocation overhead — 1:10 hot/cold population on a
+      saturated single core (Fig. 6).
+
+    [runs] is the sample size per configuration (the paper uses 30; the
+    default here is 5 to keep the full suite minutes-scale — raise it for
+    tighter intervals).  [scale] divides workload size. *)
+
+val fig4 : ?runs:int -> ?scale:int -> Format.formatter -> unit
+val fig5 : ?runs:int -> ?scale:int -> Format.formatter -> unit
+val fig6 : ?runs:int -> ?scale:int -> Format.formatter -> unit
+
+val experiment :
+  ?phases:int ->
+  ?cold_ratio:int ->
+  ?saturated:bool ->
+  ?heap_mult:int ->
+  scale:int ->
+  unit ->
+  Runner.experiment
+(** The underlying experiment, exposed for tests and the CLI. *)

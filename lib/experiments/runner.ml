@@ -1,0 +1,63 @@
+module Vm = Hcsgc_runtime.Vm
+module Config = Hcsgc_core.Config
+module Gc_stats = Hcsgc_core.Gc_stats
+module H = Hcsgc_memsim.Hierarchy
+
+type run_metrics = {
+  wall : float;
+  loads : float;
+  l1_misses : float;
+  llc_misses : float;
+  mut_l1_misses : float;
+  mut_llc_misses : float;
+  gc_cycle_count : int;
+  ec_median : float;
+  reloc_mut : int;
+  reloc_gc : int;
+  heap_samples : (int * int) list;
+}
+
+let collect vm =
+  let c = Vm.counters vm in
+  let mc = Vm.mutator_counters vm in
+  let st = Vm.gc_stats vm in
+  {
+    wall = float_of_int (Vm.wall_cycles vm);
+    loads = float_of_int c.H.loads;
+    l1_misses = float_of_int c.H.l1_misses;
+    llc_misses = float_of_int c.H.llc_misses;
+    mut_l1_misses = float_of_int mc.H.l1_misses;
+    mut_llc_misses = float_of_int mc.H.llc_misses;
+    gc_cycle_count = Gc_stats.cycles st;
+    ec_median = Gc_stats.median_small_pages_in_ec st;
+    reloc_mut = Gc_stats.objects_relocated_by_mutator st;
+    reloc_gc = Gc_stats.objects_relocated_by_gc st;
+    heap_samples = Gc_stats.heap_samples st;
+  }
+
+type experiment = {
+  name : string;
+  make_vm : Config.t -> Vm.t;
+  workload : Vm.t -> run:int -> unit;
+}
+
+let run_configs ?config_ids ?(progress = fun _ -> ()) ~runs exp =
+  let ids =
+    match config_ids with
+    | Some ids -> ids
+    | None -> List.map fst Config.table2
+  in
+  List.map
+    (fun id ->
+      let config = Config.of_id id in
+      progress (Printf.sprintf "%s: config %d (%s)" exp.name id
+                  (Config.to_string config));
+      let samples =
+        Array.init runs (fun run ->
+            let vm = exp.make_vm config in
+            exp.workload vm ~run;
+            Vm.finish vm;
+            collect vm)
+      in
+      (id, samples))
+    ids

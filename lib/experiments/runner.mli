@@ -1,0 +1,39 @@
+(** Running a workload across Table 2's configurations, collecting the
+    metrics §4.2 plots: execution time, cache statistics and GC statistics. *)
+
+module Vm = Hcsgc_runtime.Vm
+module Config = Hcsgc_core.Config
+
+type run_metrics = {
+  wall : float;  (** simulated execution time (cycles) *)
+  loads : float;  (** whole-process demand loads *)
+  l1_misses : float;
+  llc_misses : float;
+  mut_l1_misses : float;  (** mutator-core-only (see DESIGN.md) *)
+  mut_llc_misses : float;
+  gc_cycle_count : int;
+  ec_median : float;  (** median small pages in EC per cycle *)
+  reloc_mut : int;
+  reloc_gc : int;
+  heap_samples : (int * int) list;  (** (wall, used bytes) *)
+}
+
+val collect : Vm.t -> run_metrics
+(** Snapshot a finished VM. *)
+
+type experiment = {
+  name : string;
+  make_vm : Config.t -> Vm.t;  (** fresh VM per run *)
+  workload : Vm.t -> run:int -> unit;  (** [run] indexes the repetition *)
+}
+
+val run_configs :
+  ?config_ids:int list ->
+  ?progress:(string -> unit) ->
+  runs:int ->
+  experiment ->
+  (int * run_metrics array) list
+(** Execute [runs] repetitions of the experiment under each requested
+    Table 2 configuration (default: all 19).  Deterministic: repetition [i]
+    uses the same workload seed under every configuration, mirroring the
+    paper's N VM invocations per configuration. *)

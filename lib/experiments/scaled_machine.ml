@@ -1,0 +1,14 @@
+module H = Hcsgc_memsim.Hierarchy
+module C = Hcsgc_memsim.Cache
+
+let config =
+  {
+    H.default_config with
+    H.l1 = { C.size_bytes = 8 * 1024; ways = 8; line_bytes = 64 };
+    l2 = { C.size_bytes = 64 * 1024; ways = 8; line_bytes = 64 };
+    llc = { C.size_bytes = 512 * 1024; ways = 16; line_bytes = 64 };
+  }
+
+let saturated_note =
+  "single core (taskset equivalent): GC work competes with the mutator and \
+   is charged to wall time"

@@ -1,0 +1,11 @@
+(** The benches' cache hierarchy.
+
+    Benchmark working sets are scaled down 8-20× from the paper's, so the
+    machine is scaled proportionally (L1 8 KB / L2 64 KB / LLC 512 KB, same
+    line size, associativities and latencies) to preserve the relation
+    "hot working set ≫ LLC" on which the paper's locality wins depend. *)
+
+val config : Hcsgc_memsim.Hierarchy.config
+
+val saturated_note : string
+(** One-line description used in reports for the Fig. 6 single-core setup. *)

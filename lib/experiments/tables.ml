@@ -1,0 +1,67 @@
+module Layout = Hcsgc_heap.Layout
+module Config = Hcsgc_core.Config
+module Dataset = Hcsgc_graph.Dataset
+module Render = Hcsgc_stats.Render
+
+let mb b = Printf.sprintf "%d Mb" (b / 1024 / 1024)
+let kb b = Printf.sprintf "%d Kb" (b / 1024)
+
+let t1 fmt =
+  let l = Layout.paper in
+  Format.fprintf fmt "=== Table 1 — ZGC page size classes ===@.";
+  Render.table fmt
+    ~headers:[ "Page Size Class"; "Page Size"; "Object Size" ]
+    ~rows:
+      [
+        [ "Small"; mb l.Layout.small_page;
+          Printf.sprintf "[0, %s]" (kb l.Layout.small_obj_max) ];
+        [ "Medium"; mb l.Layout.medium_page;
+          Printf.sprintf "(%s, %s]" (kb l.Layout.small_obj_max)
+            (mb l.Layout.medium_obj_max) ];
+        [ "Large"; "N x 2 (> 4) Mb"; Printf.sprintf "> %s" (mb l.Layout.medium_obj_max) ];
+      ];
+  Format.pp_print_newline fmt ()
+
+let onoff b = if b then "1" else "0"
+
+let t2 fmt =
+  Format.fprintf fmt "=== Table 2 — benchmark configurations ===@.";
+  let row name get =
+    name
+    :: List.map
+         (fun (id, c) -> if id = 0 then "n/a" else get c)
+         Config.table2
+  in
+  Render.table fmt
+    ~headers:("Tuning Knobs" :: List.map (fun (id, _) -> string_of_int id) Config.table2)
+    ~rows:
+      [
+        row "Hotness" (fun c -> onoff c.Config.hotness);
+        row "ColdPage" (fun c -> onoff c.Config.coldpage);
+        row "ColdConfidence" (fun c ->
+            Printf.sprintf "%.1f" c.Config.cold_confidence);
+        row "RelocateAllSmallPages" (fun c ->
+            onoff c.Config.relocate_all_small_pages);
+        row "LazyRelocate" (fun c -> onoff c.Config.lazy_relocate);
+      ];
+  Format.pp_print_newline fmt ()
+
+let t3 ?(scale = 1) fmt =
+  Format.fprintf fmt "=== Table 3 — LAW graph nodes and edges ===@.";
+  Render.table fmt
+    ~headers:[ "Dataset"; "Nodes"; "Edges"; "Heap (MB)"; "as run (/scale)" ]
+    ~rows:
+      (List.map
+         (fun (d : Dataset.t) ->
+           let s = Dataset.scaled d ~factor:scale in
+           [
+             d.Dataset.name;
+             string_of_int d.Dataset.nodes;
+             string_of_int d.Dataset.edges;
+             (if d.Dataset.heap_mb = 0 then "n/a" else string_of_int d.Dataset.heap_mb);
+             Printf.sprintf "%d nodes / %d edges" s.Dataset.nodes s.Dataset.edges;
+           ])
+         Dataset.table3);
+  Format.fprintf fmt
+    "(generator stand-ins: preferential attachment at the same counts — see \
+     DESIGN.md)@.@."

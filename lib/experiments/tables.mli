@@ -1,0 +1,7 @@
+(** Reproductions of the paper's tables: {!t1} page size classes, {!t2} the
+    19 tuning-knob configurations, {!t3} the graph datasets (with the
+    generator stand-ins actually used). *)
+
+val t1 : Format.formatter -> unit
+val t2 : Format.formatter -> unit
+val t3 : ?scale:int -> Format.formatter -> unit

@@ -1,0 +1,77 @@
+module Vm = Hcsgc_runtime.Vm
+
+type stats = {
+  cliques : int;
+  max_size : int;
+  expansions : int;
+}
+
+(* Sorted, deduplicated int arrays as sets. *)
+let sorted_of_list xs = List.sort_uniq compare xs |> Array.of_list
+
+let inter a b =
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length a && !j < Array.length b do
+    let c = compare a.(!i) b.(!j) in
+    if c = 0 then begin
+      out := a.(!i) :: !out;
+      incr i;
+      incr j
+    end
+    else if c < 0 then incr i
+    else incr j
+  done;
+  Array.of_list (List.rev !out)
+
+let remove set x = Array.of_list (List.filter (fun y -> y <> x) (Array.to_list set))
+
+let add set x = sorted_of_list (x :: Array.to_list set)
+
+let mem set x = Array.exists (fun y -> y = x) set
+
+(* The paper uses JGraphT's plain [BronKerboschCliqueFinder] — the
+   non-pivoting variant — so this follows it: every vertex of P branches.
+   Like the Java implementation, each recursion copies its candidate and
+   exclusion sets and each branch materialises two intersections; those
+   copies are modelled as managed allocation (the "some allocation done by
+   the Bron-Kerbosch algorithm, which triggers GC often" of §4.5). *)
+let run ?(max_expansions = max_int) ?(garbage_every = 1) g =
+  let vm = Mgraph.vm g in
+  let cliques = ref 0 and max_size = ref 0 and expansions = ref 0 in
+  let charge_sets words =
+    if garbage_every > 0 && !expansions mod garbage_every = 0 && words > 0 then
+      ignore (Vm.alloc vm ~nrefs:0 ~nwords:(min 512 (max 4 words)))
+  in
+  let neighbors v =
+    (* Graphs.neighborSetOf: a fresh set per call, reading the adjacency
+       through the barriers. *)
+    let ns = sorted_of_list (Mgraph.neighbors g v) in
+    charge_sets (Array.length ns);
+    ns
+  in
+  let rec bk r_size p x =
+    if !expansions < max_expansions then begin
+      incr expansions;
+      charge_sets (Array.length p + Array.length x);
+      if Array.length p = 0 && Array.length x = 0 then begin
+        incr cliques;
+        if r_size > !max_size then max_size := r_size
+      end
+      else begin
+        let p_ref = ref p and x_ref = ref x in
+        Array.iter
+          (fun v ->
+            if !expansions < max_expansions && mem !p_ref v then begin
+              let nv = neighbors v in
+              bk (r_size + 1) (inter !p_ref nv) (inter !x_ref nv);
+              p_ref := remove !p_ref v;
+              x_ref := add !x_ref v
+            end)
+          p
+      end
+    end
+  in
+  let all = Array.init (Mgraph.n g) (fun i -> i) in
+  bk 0 all [||];
+  { cliques = !cliques; max_size = !max_size; expansions = !expansions }

@@ -1,0 +1,26 @@
+(** Connectivity algorithms over managed graphs: the (weakly) connected
+    components / biconnectivity workload of §4.5 (JGraphT's
+    [BiconnectivityInspector], Hopcroft–Tarjan).
+
+    Both run entirely through the managed heap's load barriers.  Like the
+    JGraphT implementation, they allocate short-lived iterator/bookkeeping
+    objects per vertex and edge visit ([garbage_every] visits per
+    allocation, default 2), which is what drives GC cycles during
+    processing. *)
+
+module Vm = Hcsgc_runtime.Vm
+
+type result = {
+  components : int;
+  largest : int;  (** size of the largest component *)
+  cut_points : int;  (** articulation vertices (biconnectivity pass) *)
+  visits : int;  (** vertices visited across all passes *)
+}
+
+val connected_components : ?garbage_every:int -> Mgraph.t -> int * int
+(** BFS labelling; returns (component count, largest size). *)
+
+val analyse : ?passes:int -> ?garbage_every:int -> Mgraph.t -> result
+(** The full inspector workload: [passes] (default 3) rounds of component
+    labelling plus one articulation-point DFS — recurring traversals with a
+    stable access pattern, which is what HCSGC's relocation captures. *)

@@ -1,0 +1,43 @@
+type t = {
+  name : string;
+  nodes : int;
+  edges : int;
+  heap_mb : int;
+  model : Generator.model;
+}
+
+let uk_complete =
+  { name = "uk (complete)"; nodes = 100_000; edges = 3_050_615; heap_mb = 0;
+    model = Generator.Web }
+
+let uk_cc =
+  { name = "uk (CC)"; nodes = 28_128; edges = 900_002; heap_mb = 1_024;
+    model = Generator.Web }
+
+let uk_mc =
+  { name = "uk (MC)"; nodes = 5_099; edges = 239_294; heap_mb = 4_096;
+    model = Generator.Web }
+
+let enwiki_complete =
+  { name = "enwiki (complete)"; nodes = 5_616_717; edges = 128_835_798;
+    heap_mb = 0; model = Generator.Web }
+
+let enwiki_cc =
+  { name = "enwiki (CC)"; nodes = 28_126; edges = 80_002; heap_mb = 600;
+    model = Generator.Web }
+
+let enwiki_mc =
+  { name = "enwiki (MC)"; nodes = 43_354; edges = 170_660; heap_mb = 4_096;
+    model = Generator.Web }
+
+let table3 =
+  [ uk_complete; uk_cc; uk_mc; enwiki_complete; enwiki_cc; enwiki_mc ]
+
+let scaled t ~factor =
+  if factor < 1 then invalid_arg "Dataset.scaled: factor must be >= 1";
+  {
+    t with
+    nodes = max 2 (t.nodes / factor);
+    edges = max 1 (t.edges / factor);
+    heap_mb = max 1 (t.heap_mb / factor);
+  }

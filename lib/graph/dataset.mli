@@ -1,0 +1,31 @@
+(** The graph inputs of Table 3, as generator parameters.
+
+    The paper processes subsets of the LAW {e uk-2007-05@100000} and
+    {e enwiki-2018} graphs; the proprietary data is replaced by the
+    preferential-attachment generator at the same node/edge counts (see
+    DESIGN.md).  [scale] divides the counts for quick runs; heap sizes are
+    scaled alongside. *)
+
+type t = {
+  name : string;
+  nodes : int;
+  edges : int;
+  heap_mb : int;  (** the paper's heap size for this input, in MB *)
+  model : Generator.model;
+}
+
+val uk_complete : t
+(** The full uk graph (Table 3 row 1; only listed, never processed). *)
+
+val uk_cc : t
+val uk_mc : t
+val enwiki_complete : t
+val enwiki_cc : t
+val enwiki_mc : t
+
+val table3 : t list
+(** All six rows in the paper's order. *)
+
+val scaled : t -> factor:int -> t
+(** Divide node/edge counts (and heap) by [factor], keeping at least two
+    vertices and one edge.  @raise Invalid_argument if factor < 1. *)

@@ -1,0 +1,83 @@
+module Vm = Hcsgc_runtime.Vm
+module Rng = Hcsgc_util.Rng
+
+type model = Preferential | Uniform | Web
+
+(* Preferential endpoint pool shared by the Preferential and Web models. *)
+let preferential_edges ~rng ~nodes ~m =
+  let pool = Array.make (2 * (m + nodes)) 0 in
+  let pool_len = ref 0 in
+  let push v =
+    pool.(!pool_len) <- v;
+    incr pool_len
+  in
+  for v = 0 to nodes - 1 do
+    push v;
+    push ((v + 1) mod nodes)
+  done;
+  let draw a =
+    let b = pool.(Rng.int rng !pool_len) in
+    push a;
+    push b;
+    b
+  in
+  draw
+
+let edges ~rng ~model ~nodes ~edges:m =
+  if nodes <= 1 then invalid_arg "Generator.edges: need at least two vertices";
+  if m < 0 then invalid_arg "Generator.edges: negative edge count";
+  match model with
+  | Uniform ->
+      Array.init m (fun _ ->
+          let a = Rng.int rng nodes in
+          let b = Rng.int rng nodes in
+          (a, b))
+  | Preferential ->
+      (* Endpoint-repetition sampling: each inserted edge's endpoints join a
+         pool; sampling an endpoint from the pool is proportional to current
+         degree.  Seed the pool with a small ring so early vertices do not
+         monopolise. *)
+      let draw = preferential_edges ~rng ~nodes ~m in
+      Array.init m (fun i ->
+          (* Walk new vertices in round-robin so every vertex exists; attach
+             to a degree-proportional target. *)
+          let a = i mod nodes in
+          (a, draw a))
+  | Web ->
+      (* Assign vertices to communities of 8-56 members, scattered over the
+         id space by shuffling; 3/4 of edges are intra-community (dense
+         clusters, near-cliques when the edge budget saturates them), the
+         rest preferential cross links. *)
+      let order = Array.init nodes (fun i -> i) in
+      Rng.shuffle rng order;
+      let community = Array.make nodes 0 in
+      let starts = ref [] in
+      let pos = ref 0 in
+      let ncomm = ref 0 in
+      while !pos < nodes do
+        let size = min (nodes - !pos) (8 + Rng.int rng 49) in
+        starts := (!pos, size) :: !starts;
+        for k = !pos to !pos + size - 1 do
+          community.(order.(k)) <- !ncomm
+        done;
+        incr ncomm;
+        pos := !pos + size
+      done;
+      let spans = Array.of_list (List.rev !starts) in
+      let comm_of v = spans.(community.(v)) in
+      let draw = preferential_edges ~rng ~nodes ~m in
+      Array.init m (fun i ->
+          let a = if i < nodes then i else Rng.int rng nodes in
+          let start, size = comm_of a in
+          if size >= 2 && Rng.float rng 1.0 < 0.75 then
+            (* Intra-community link: another member of [a]'s community. *)
+            let b = order.(start + Rng.int rng size) in
+            (a, b)
+          else (a, draw a))
+
+let build vm ~rng ~model ~nodes ~edges:m =
+  let es = edges ~rng ~model ~nodes ~edges:m in
+  Rng.shuffle rng es;
+  let g = Mgraph.create vm ~n:nodes in
+  Array.iter (fun (a, b) -> if a <> b then Mgraph.add_edge g a b) es;
+  g

@@ -1,0 +1,32 @@
+(** Deterministic graph generators standing in for the LAW datasets.
+
+    The paper's inputs ({e uk-2007-05@100000}, {e enwiki-2018}) are web/wiki
+    graphs with heavy-tailed degree distributions.  We reproduce that shape
+    with preferential attachment, and offer a uniform model for contrast.
+    Edge insertion order is shuffled so that allocation order does not
+    accidentally match traversal order — the gap HCSGC exploits. *)
+
+module Vm = Hcsgc_runtime.Vm
+
+type model =
+  | Preferential  (** Barabási–Albert-style, power-law degrees *)
+  | Uniform  (** Erdős–Rényi-style *)
+  | Web
+      (** The LAW-dataset stand-in: dense communities (host-local link
+          clusters, which is where real web graphs get their large cliques
+          and their BFS/DFS temporal locality) plus preferential cross
+          links for the heavy-tailed degree distribution.  Community
+          membership is scattered across the id space, so allocation in id
+          order does {e not} give community locality — the layout gap
+          HCSGC's access-order relocation closes. *)
+
+val edges :
+  rng:Hcsgc_util.Rng.t -> model:model -> nodes:int -> edges:int -> (int * int) array
+(** Generate an undirected edge list (self-loops and duplicate endpoints
+    possible but rare, matching real crawls).  Deterministic given the RNG
+    state. *)
+
+val build :
+  Vm.t -> rng:Hcsgc_util.Rng.t -> model:model -> nodes:int -> edges:int -> Mgraph.t
+(** Generate and materialise on the managed heap, inserting edges in
+    shuffled order. *)

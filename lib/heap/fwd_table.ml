@@ -1,0 +1,18 @@
+type t = (int, int) Hashtbl.t
+
+type claim_result = Claimed | Already of int
+
+let create () = Hashtbl.create 64
+
+let claim t ~offset ~new_addr =
+  match Hashtbl.find_opt t offset with
+  | Some existing -> Already existing
+  | None ->
+      Hashtbl.add t offset new_addr;
+      Claimed
+
+let find t ~offset = Hashtbl.find_opt t offset
+
+let entries t = Hashtbl.length t
+
+let iter t f = Hashtbl.iter (fun offset new_addr -> f ~offset ~new_addr) t

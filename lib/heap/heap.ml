@@ -1,0 +1,181 @@
+module Vec = Hcsgc_util.Vec
+
+type free_range = { granule : int; ngranules : int }
+
+type t = {
+  layout : Layout.t;
+  page_table : Page_table.t;
+  mutable next_granule : int;  (* next never-used granule; granule 0 reserved *)
+  free_small : int Vec.t;  (* granule indices of freed small pages *)
+  free_medium : int Vec.t;  (* first granule of freed medium pages *)
+  mutable free_large : free_range list;  (* freed large ranges, first-fit *)
+  mutable used : int;
+  max_bytes : int;
+  pages : Page.t Vec.t;  (* all non-freed pages (compacted lazily) *)
+  mutable next_page_id : int;
+  mutable next_obj_id : int;
+}
+
+let create ?(layout = Layout.paper) ~max_bytes () =
+  {
+    layout;
+    page_table = Page_table.create ~layout;
+    next_granule = 1;
+    free_small = Vec.create ();
+    free_medium = Vec.create ();
+    free_large = [];
+    used = 0;
+    max_bytes;
+    pages = Vec.create ();
+    next_page_id = 0;
+    next_obj_id = 0;
+  }
+
+let layout t = t.layout
+let max_bytes t = t.max_bytes
+let used_bytes t = t.used
+let used_ratio t = float_of_int t.used /. float_of_int t.max_bytes
+
+let address_space_bytes t = t.next_granule * Layout.granule t.layout
+
+let granule_bytes t = Layout.granule t.layout
+
+let fresh_page_id t =
+  let id = t.next_page_id in
+  t.next_page_id <- id + 1;
+  id
+
+let fresh_obj_id t =
+  let id = t.next_obj_id in
+  t.next_obj_id <- id + 1;
+  id
+
+(* Find a start granule for [ngranules] contiguous granules. *)
+let take_granules t ~cls ~ngranules =
+  match (cls : Layout.size_class) with
+  | Small -> (
+      match Vec.pop t.free_small with
+      | Some g -> g
+      | None ->
+          let g = t.next_granule in
+          t.next_granule <- g + 1;
+          g)
+  | Medium -> (
+      match Vec.pop t.free_medium with
+      | Some g -> g
+      | None ->
+          let g = t.next_granule in
+          t.next_granule <- g + ngranules;
+          g)
+  | Large -> (
+      (* First-fit over recycled large ranges; split leftovers. *)
+      let rec fit acc = function
+        | [] -> None
+        | r :: rest when r.ngranules >= ngranules ->
+            let leftover =
+              if r.ngranules > ngranules then
+                [ { granule = r.granule + ngranules;
+                    ngranules = r.ngranules - ngranules } ]
+              else []
+            in
+            t.free_large <- List.rev_append acc (leftover @ rest);
+            Some r.granule
+        | r :: rest -> fit (r :: acc) rest
+      in
+      match fit [] t.free_large with
+      | Some g -> g
+      | None ->
+          let g = t.next_granule in
+          t.next_granule <- g + ngranules;
+          g)
+
+let alloc_page ?(force = false) t ~cls ~bytes ~birth_cycle =
+  let size = Layout.page_bytes_for t.layout cls bytes in
+  if (not force) && t.used + size > t.max_bytes then None
+  else begin
+    let ngranules = size / granule_bytes t in
+    let g = take_granules t ~cls ~ngranules in
+    let page =
+      Page.create ~layout:t.layout ~id:(fresh_page_id t) ~cls
+        ~start:(g * granule_bytes t) ~size ~birth_cycle
+    in
+    Page_table.register t.page_table page;
+    Vec.push t.pages page;
+    t.used <- t.used + size;
+    Some page
+  end
+
+let compact_pages t =
+  let live = Vec.to_list t.pages |> List.filter (fun p -> p.Page.state <> Page.Freed) in
+  Vec.clear t.pages;
+  List.iter (Vec.push t.pages) live
+
+let free_page t (page : Page.t) =
+  if page.Page.state = Page.Freed then
+    invalid_arg "Heap.free_page: page already freed";
+  Page_table.unregister t.page_table page;
+  page.Page.state <- Page.Freed;
+  t.used <- t.used - page.Page.size;
+  (* Keep the page vector from accumulating tombstones: compact once more
+     than half of a reasonably large vector is freed pages. *)
+  if Vec.length t.pages > 256 then begin
+    let freed =
+      Vec.fold_left
+        (fun n p -> if p.Page.state = Page.Freed then n + 1 else n)
+        0 t.pages
+    in
+    if 2 * freed > Vec.length t.pages then compact_pages t
+  end
+
+let recycle_range t (page : Page.t) =
+  if page.Page.state <> Page.Freed then
+    invalid_arg "Heap.recycle_range: page is not freed";
+  let g = page.Page.start / granule_bytes t in
+  let ngranules = page.Page.size / granule_bytes t in
+  match page.Page.cls with
+  | Layout.Small -> Vec.push t.free_small g
+  | Layout.Medium -> Vec.push t.free_medium g
+  | Layout.Large -> t.free_large <- { granule = g; ngranules } :: t.free_large
+
+let alloc_object_in t (page : Page.t) ~nrefs ~nwords =
+  let size = Layout.object_bytes t.layout ~nrefs ~nwords in
+  match Page.bump_alloc page size with
+  | None -> None
+  | Some offset ->
+      let obj =
+        Heap_obj.create ~layout:t.layout ~id:(fresh_obj_id t)
+          ~addr:(page.Page.start + offset) ~nrefs ~nwords
+      in
+      Page.add_object page obj;
+      Some obj
+
+let alloc_large_object t ~nrefs ~nwords ~birth_cycle =
+  let size = Layout.object_bytes t.layout ~nrefs ~nwords in
+  match alloc_page t ~cls:Layout.Large ~bytes:size ~birth_cycle with
+  | None -> None
+  | Some page -> (
+      match alloc_object_in t page ~nrefs ~nwords with
+      | Some obj -> Some obj
+      | None -> assert false (* a large page always fits its single object *))
+
+let page_of_addr t addr = Page_table.page_of_addr t.page_table addr
+
+let obj_at t addr =
+  match page_of_addr t addr with
+  | None -> None
+  | Some page -> Page.find_object page ~offset:(Page.offset_of_addr page addr)
+
+let iter_pages t f =
+  Vec.iter (fun p -> if p.Page.state <> Page.Freed then f p) t.pages
+
+let page_count t cls =
+  let n = ref 0 in
+  iter_pages t (fun p -> if p.Page.cls = cls then incr n);
+  !n
+
+let pp_stats fmt t =
+  Format.fprintf fmt "heap{used=%dK/%dK pages:s=%d,m=%d,l=%d}" (t.used / 1024)
+    (t.max_bytes / 1024)
+    (page_count t Layout.Small)
+    (page_count t Layout.Medium)
+    (page_count t Layout.Large)

@@ -1,0 +1,77 @@
+(** The heap: page allocation and reclamation over a granule-based virtual
+    address space, plus object allocation within pages.
+
+    Pages are allocated from per-class free lists (recycled address ranges)
+    or by extending the address space.  Reclaiming a page returns its
+    granules to the free list immediately — stale pointers into recycled
+    ranges are safe because they carry a non-good colour and are resolved
+    through the collector's forwarding-table index, exactly as in ZGC's
+    multi-mapped heap. *)
+
+type t
+
+val create : ?layout:Layout.t -> max_bytes:int -> unit -> t
+(** [create ~max_bytes ()] builds an empty heap capped at [max_bytes] of
+    committed page memory.  Default layout is {!Layout.paper}. *)
+
+val layout : t -> Layout.t
+val max_bytes : t -> int
+
+val used_bytes : t -> int
+(** Committed page bytes (the paper's "heap usage"). *)
+
+val used_ratio : t -> float
+
+val address_space_bytes : t -> int
+(** Total virtual address space ever claimed (high-water granule mark).
+    Stays bounded when freed ranges are recycled after forwarding-table
+    retirement — the property that replaces ZGC's multi-mapping. *)
+
+val alloc_page :
+  ?force:bool ->
+  t ->
+  cls:Layout.size_class ->
+  bytes:int ->
+  birth_cycle:int ->
+  Page.t option
+(** Allocate (or recycle) a page; [None] if it would exceed [max_bytes].
+    [bytes] is only consulted for [Large].  [force] ignores the cap — used
+    for relocation target pages, which ZGC serves from a reserved headroom so
+    compaction can always make progress. *)
+
+val free_page : t -> Page.t -> unit
+(** Release the page's committed memory ([used_bytes] drops) and unmap its
+    address range, but do {e not} recycle the range yet: stale coloured
+    pointers into it must keep resolving through the page's forwarding table
+    until the next mark phase has remapped them (ZGC gets the same effect
+    from heap multi-mapping).  The caller recycles the range later with
+    {!recycle_range}.  The page's state becomes [Freed].
+    @raise Invalid_argument if the page is already freed. *)
+
+val recycle_range : t -> Page.t -> unit
+(** Return a freed page's granules to the allocation free lists.  Call only
+    once per page, after its forwarding table has been retired. *)
+
+val alloc_object_in : t -> Page.t -> nrefs:int -> nwords:int -> Heap_obj.t option
+(** Bump-allocate an object in the given (small or medium) page; [None] if it
+    does not fit. *)
+
+val alloc_large_object : t -> nrefs:int -> nwords:int -> birth_cycle:int -> Heap_obj.t option
+(** Allocate a large object on its own page ([None] if out of memory). *)
+
+val page_of_addr : t -> int -> Page.t option
+val obj_at : t -> int -> Heap_obj.t option
+(** The object whose start address is exactly the given address, on the
+    currently mapped page. *)
+
+val iter_pages : t -> (Page.t -> unit) -> unit
+(** Iterate all non-freed pages. *)
+
+val page_count : t -> Layout.size_class -> int
+(** Number of non-freed pages of a class. *)
+
+val fresh_obj_id : t -> int
+(** Next object identity (also used by the collector when splitting objects
+    is simulated — monotone, never reused). *)
+
+val pp_stats : Format.formatter -> t -> unit

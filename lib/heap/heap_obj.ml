@@ -1,0 +1,56 @@
+type t = {
+  id : int;
+  mutable addr : int;
+  size : int;
+  refs : int array;
+  words : int;
+  mutable payload : int array;
+  mutable relocations : int;
+}
+
+let no_payload : int array = [||]
+
+let create ~layout ~id ~addr ~nrefs ~nwords =
+  {
+    id;
+    addr;
+    size = Layout.object_bytes layout ~nrefs ~nwords;
+    refs = Array.make nrefs Addr.null;
+    words = nwords;
+    payload = no_payload;
+    relocations = 0;
+  }
+
+let nrefs t = Array.length t.refs
+let nwords t = t.words
+
+let ref_slot_addr ~layout t i =
+  if i < 0 || i >= Array.length t.refs then
+    invalid_arg "Heap_obj.ref_slot_addr: slot out of range";
+  t.addr + layout.Layout.header_bytes + (i * layout.Layout.word_bytes)
+
+let payload_addr ~layout t i =
+  if i < 0 || i >= t.words then
+    invalid_arg "Heap_obj.payload_addr: word out of range";
+  t.addr
+  + layout.Layout.header_bytes
+  + ((Array.length t.refs + i) * layout.Layout.word_bytes)
+
+let get_ref t i = t.refs.(i)
+let set_ref t i p = t.refs.(i) <- p
+
+let check_word t i =
+  if i < 0 || i >= t.words then invalid_arg "Heap_obj: word out of range"
+
+let get_word t i =
+  check_word t i;
+  if t.payload == no_payload then 0 else t.payload.(i)
+
+let set_word t i v =
+  check_word t i;
+  if t.payload == no_payload then t.payload <- Array.make t.words 0;
+  t.payload.(i) <- v
+
+let pp fmt t =
+  Format.fprintf fmt "obj#%d@0x%x{%dB,%dr,%dw}" t.id t.addr t.size
+    (Array.length t.refs) t.words

@@ -1,0 +1,42 @@
+(** The simulated object model.
+
+    An object is a fixed-shape cell: a VM header, [nrefs] reference slots
+    (each holding a coloured pointer, see {!Addr}) followed by [nwords]
+    scalar payload words.  The OCaml record is the object's {e stable
+    identity}: relocation updates [addr] in place, so OCaml-side handles
+    survive moves exactly like registers fixed up by ZGC's stop-the-world
+    root processing. *)
+
+type t = {
+  id : int;  (** allocation-order identity, never reused *)
+  mutable addr : int;  (** current virtual byte address (uncoloured) *)
+  size : int;  (** total aligned size in bytes, header included *)
+  refs : int array;  (** coloured pointer slots *)
+  words : int;  (** scalar payload word count *)
+  mutable payload : int array;
+      (** payload storage, materialised on first write (objects that are
+          never read or written — e.g. pure garbage — cost no OCaml array);
+          use {!get_word}/{!set_word} *)
+  mutable relocations : int;  (** times this object has been moved *)
+}
+
+val create : layout:Layout.t -> id:int -> addr:int -> nrefs:int -> nwords:int -> t
+(** A fresh object with null refs and zero payload. *)
+
+val nrefs : t -> int
+val nwords : t -> int
+
+val ref_slot_addr : layout:Layout.t -> t -> int -> int
+(** Byte address of reference slot [i] (for the cache simulator).
+    @raise Invalid_argument if out of range. *)
+
+val payload_addr : layout:Layout.t -> t -> int -> int
+(** Byte address of payload word [i].
+    @raise Invalid_argument if out of range. *)
+
+val get_ref : t -> int -> Addr.t
+val set_ref : t -> int -> Addr.t -> unit
+val get_word : t -> int -> int
+val set_word : t -> int -> int -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,134 @@
+module Bitmap = Hcsgc_util.Bitmap
+
+type state = Active | In_ec | Freed
+
+type t = {
+  id : int;
+  cls : Layout.size_class;
+  start : int;
+  size : int;
+  birth_cycle : int;
+  mutable top : int;
+  mutable state : state;
+  objects : (int, Heap_obj.t) Hashtbl.t;
+  livemap : Bitmap.t;
+  mutable hot_cur : Bitmap.t;
+  mutable hot_prev : Bitmap.t;
+  mutable live_bytes : int;
+  mutable live_objects : int;
+  mutable hot_bytes : int;
+  mutable is_alloc_target : bool;
+  fwd : Fwd_table.t;
+}
+
+let word_bits layout size = size / layout.Layout.word_bytes
+
+let create ~layout ~id ~cls ~start ~size ~birth_cycle =
+  let bits = word_bits layout size in
+  {
+    id;
+    cls;
+    start;
+    size;
+    birth_cycle;
+    top = 0;
+    state = Active;
+    objects = Hashtbl.create 64;
+    livemap = Bitmap.create bits;
+    hot_cur = Bitmap.create bits;
+    hot_prev = Bitmap.create bits;
+    live_bytes = 0;
+    live_objects = 0;
+    hot_bytes = 0;
+    is_alloc_target = false;
+    fwd = Fwd_table.create ();
+  }
+
+let bump_alloc t bytes =
+  if t.top + bytes > t.size then None
+  else begin
+    let offset = t.top in
+    t.top <- t.top + bytes;
+    Some offset
+  end
+
+let offset_of_addr t addr =
+  if addr < t.start || addr >= t.start + t.size then
+    invalid_arg "Page.offset_of_addr: address outside page";
+  addr - t.start
+
+let contains t addr = addr >= t.start && addr < t.start + t.size
+
+let add_object t obj =
+  Hashtbl.replace t.objects (offset_of_addr t obj.Heap_obj.addr) obj
+
+let remove_object t obj =
+  Hashtbl.remove t.objects (offset_of_addr t obj.Heap_obj.addr)
+
+let find_object t ~offset = Hashtbl.find_opt t.objects offset
+
+let free_bytes t = t.size - t.top
+
+let used_bytes t = t.top
+
+(* Bit index of an object: its word offset within the page. *)
+let bit_of t obj = (obj.Heap_obj.addr - t.start) / 8
+
+let reset_mark_state t =
+  Bitmap.reset t.livemap;
+  t.live_bytes <- 0;
+  t.live_objects <- 0;
+  t.hot_bytes <- 0;
+  let prev = t.hot_prev in
+  t.hot_prev <- t.hot_cur;
+  Bitmap.reset prev;
+  t.hot_cur <- prev
+
+let mark_live t obj =
+  let bit = bit_of t obj in
+  if Bitmap.get t.livemap bit then false
+  else begin
+    Bitmap.set t.livemap bit;
+    t.live_bytes <- t.live_bytes + obj.Heap_obj.size;
+    t.live_objects <- t.live_objects + 1;
+    true
+  end
+
+let is_marked_live t obj = Bitmap.get t.livemap (bit_of t obj)
+
+let iter_live t f =
+  Bitmap.iter_set t.livemap (fun bit ->
+      match Hashtbl.find_opt t.objects (bit * 8) with
+      | Some obj -> f obj
+      | None -> ())
+
+let live_ratio t = float_of_int t.live_bytes /. float_of_int t.size
+
+let flag_hot t obj =
+  let already = Bitmap.test_and_set t.hot_cur (bit_of t obj) in
+  if not already then t.hot_bytes <- t.hot_bytes + obj.Heap_obj.size;
+  not already
+
+let is_hot t obj = Bitmap.get t.hot_cur (bit_of t obj)
+
+let was_hot t obj = Bitmap.get t.hot_prev (bit_of t obj)
+
+let cold_bytes t = t.live_bytes - t.hot_bytes
+
+let weighted_live_bytes t ~cold_confidence =
+  let cold = cold_bytes t in
+  if t.hot_bytes = 0 then cold
+  else
+    t.hot_bytes
+    + int_of_float (float_of_int cold *. (1.0 -. cold_confidence))
+
+let state_to_string = function
+  | Active -> "active"
+  | In_ec -> "in-ec"
+  | Freed -> "freed"
+
+let pp fmt t =
+  Format.fprintf fmt "page#%d[%s,%s,0x%x+%dK,top=%d,live=%d,hot=%d]" t.id
+    (Layout.size_class_to_string t.cls)
+    (state_to_string t.state) t.start (t.size / 1024) t.top t.live_bytes
+    t.hot_bytes

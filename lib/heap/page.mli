@@ -1,0 +1,109 @@
+(** Heap pages: the unit of allocation, liveness accounting, evacuation
+    selection and reclamation (§2.1).
+
+    A page serves bump-pointer allocation until it cannot satisfy a request
+    (it is then {e retired} but stays [Active]).  During marking, per-page
+    liveness (live bytes / live objects) and — with HOTNESS on — hot bytes
+    are accumulated.  Pages selected for evacuation move to [In_ec]; once
+    every live object has been copied out the page is [Freed] and its address
+    range recycled, while its forwarding table stays reachable until the next
+    mark phase has remapped all stale pointers. *)
+
+type state =
+  | Active  (** holds objects; may be selected for evacuation *)
+  | In_ec  (** selected for evacuation; objects being copied out *)
+  | Freed  (** address range recycled; only the forwarding table matters *)
+
+type t = {
+  id : int;
+  cls : Layout.size_class;
+  start : int;  (** first byte address (granule-aligned) *)
+  size : int;  (** page size in bytes *)
+  birth_cycle : int;  (** GC cycle sequence number at allocation *)
+  mutable top : int;  (** bump offset; next free byte within the page *)
+  mutable state : state;
+  objects : (int, Heap_obj.t) Hashtbl.t;  (** byte offset → object *)
+  livemap : Hcsgc_util.Bitmap.t;  (** bit per word-offset of object starts *)
+  mutable hot_cur : Hcsgc_util.Bitmap.t;  (** hotness, current epoch *)
+  mutable hot_prev : Hcsgc_util.Bitmap.t;  (** snapshot for lazy relocation *)
+  mutable live_bytes : int;
+  mutable live_objects : int;
+  mutable hot_bytes : int;
+  mutable is_alloc_target : bool;
+      (** currently a bump-allocation / relocation target; excluded from EC *)
+  fwd : Fwd_table.t;
+}
+
+val create :
+  layout:Layout.t ->
+  id:int ->
+  cls:Layout.size_class ->
+  start:int ->
+  size:int ->
+  birth_cycle:int ->
+  t
+
+val bump_alloc : t -> int -> int option
+(** [bump_alloc t bytes] reserves [bytes] (already aligned) and returns the
+    byte offset, or [None] if the page is full. *)
+
+val add_object : t -> Heap_obj.t -> unit
+(** Register an object whose [addr] lies within this page. *)
+
+val remove_object : t -> Heap_obj.t -> unit
+
+val find_object : t -> offset:int -> Heap_obj.t option
+
+val offset_of_addr : t -> int -> int
+(** Byte offset of an address within the page.
+    @raise Invalid_argument if the address is outside the page. *)
+
+val contains : t -> int -> bool
+
+val free_bytes : t -> int
+
+val used_bytes : t -> int
+(** Bytes consumed by the bump pointer (live + garbage). *)
+
+(** {2 Liveness (filled during M/R)} *)
+
+val reset_mark_state : t -> unit
+(** Clear livemap, zero live counters, swap the hotness epoch: [hot_cur]
+    becomes [hot_prev] (kept for COLDPAGE decisions under LAZYRELOCATE) and a
+    cleared map becomes current.  Called at STW1 for every page. *)
+
+val mark_live : t -> Heap_obj.t -> bool
+(** Set the livemap bit for the object; accumulate live bytes/objects on
+    first marking.  Returns [true] if this call marked it (it was unmarked). *)
+
+val is_marked_live : t -> Heap_obj.t -> bool
+
+val iter_live : t -> (Heap_obj.t -> unit) -> unit
+(** Iterate objects marked live, in ascending address order (the order GC
+    threads evacuate a page). *)
+
+val live_ratio : t -> float
+(** live bytes / page size. *)
+
+(** {2 Hotness (§3.1.2)} *)
+
+val flag_hot : t -> Heap_obj.t -> bool
+(** Set the hotmap bit (current epoch); accumulate hot bytes on first
+    flagging.  Returns [true] if the object was {e newly} flagged — the
+    caller uses this to charge the CAS cost once, as in the paper. *)
+
+val is_hot : t -> Heap_obj.t -> bool
+(** Current-epoch hotness. *)
+
+val was_hot : t -> Heap_obj.t -> bool
+(** Previous-epoch hotness (used by relocation under LAZYRELOCATE, where the
+    copy happens after the epoch flip). *)
+
+val cold_bytes : t -> int
+(** live bytes − hot bytes. *)
+
+val weighted_live_bytes : t -> cold_confidence:float -> int
+(** The paper's WLB (§3.1.3): [cold] if there are no hot bytes, otherwise
+    [hot + cold × (1 − cold_confidence)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+module Vec = Hcsgc_util.Vec
+
+type t = {
+  granule_bytes : int;
+  slots : Page.t option Vec.t;
+}
+
+let create ~layout = { granule_bytes = Layout.granule layout; slots = Vec.create () }
+
+let granule_of_addr t addr = addr / t.granule_bytes
+
+let ensure t n =
+  while Vec.length t.slots <= n do
+    Vec.push t.slots None
+  done
+
+let granules_of_page t (page : Page.t) =
+  let first = granule_of_addr t page.Page.start in
+  let last = granule_of_addr t (page.Page.start + page.Page.size - 1) in
+  (first, last)
+
+let register t page =
+  let first, last = granules_of_page t page in
+  ensure t last;
+  for g = first to last do
+    Vec.set t.slots g (Some page)
+  done
+
+let unregister t page =
+  let first, last = granules_of_page t page in
+  ensure t last;
+  for g = first to last do
+    (* Only clear entries that still point at this page; the range may have
+       been re-registered already. *)
+    match Vec.get t.slots g with
+    | Some p when p == page -> Vec.set t.slots g None
+    | _ -> ()
+  done
+
+let page_of_addr t addr =
+  let g = granule_of_addr t addr in
+  if g < 0 || g >= Vec.length t.slots then None else Vec.get t.slots g

@@ -1,0 +1,107 @@
+type geometry = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+}
+
+type t = {
+  geom : geometry;
+  sets : int;
+  set_mask : int;
+  line_shift : int;
+  (* tags.(set * ways + way); -1 = invalid *)
+  tags : int array;
+  (* LRU stamps, same indexing; larger = more recent *)
+  stamps : int array;
+  mutable clock : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create geom =
+  if not (is_pow2 geom.line_bytes) then
+    invalid_arg "Cache.create: line size must be a power of two";
+  if geom.ways <= 0 then invalid_arg "Cache.create: ways must be positive";
+  let sets = geom.size_bytes / (geom.ways * geom.line_bytes) in
+  if sets <= 0 || not (is_pow2 sets) then
+    invalid_arg "Cache.create: geometry must yield a power-of-two set count";
+  {
+    geom;
+    sets;
+    set_mask = sets - 1;
+    line_shift = log2 geom.line_bytes;
+    tags = Array.make (sets * geom.ways) (-1);
+    stamps = Array.make (sets * geom.ways) 0;
+    clock = 0;
+  }
+
+let geometry t = t.geom
+
+let line_of_addr t addr = addr lsr t.line_shift
+
+let base_of_line t line = (line land t.set_mask) * t.geom.ways
+
+let find t line =
+  let base = base_of_line t line in
+  let rec go w =
+    if w = t.geom.ways then -1
+    else if Array.unsafe_get t.tags (base + w) = line then base + w
+    else go (w + 1)
+  in
+  go 0
+
+let touch t slot =
+  t.clock <- t.clock + 1;
+  Array.unsafe_set t.stamps slot t.clock
+
+let victim t line =
+  let base = base_of_line t line in
+  let best = ref base and best_stamp = ref max_int in
+  for w = 0 to t.geom.ways - 1 do
+    let slot = base + w in
+    if Array.unsafe_get t.tags slot = -1 then begin
+      (* Invalid way: take it immediately by forcing the minimum. *)
+      if !best_stamp > min_int then begin
+        best := slot;
+        best_stamp := min_int
+      end
+    end
+    else if Array.unsafe_get t.stamps slot < !best_stamp then begin
+      best := slot;
+      best_stamp := Array.unsafe_get t.stamps slot
+    end
+  done;
+  !best
+
+let access t line =
+  let slot = find t line in
+  if slot >= 0 then begin
+    touch t slot;
+    true
+  end
+  else begin
+    let slot = victim t line in
+    Array.unsafe_set t.tags slot line;
+    touch t slot;
+    false
+  end
+
+let probe t line = find t line >= 0
+
+let insert t line =
+  let slot = find t line in
+  if slot >= 0 then touch t slot
+  else begin
+    let slot = victim t line in
+    Array.unsafe_set t.tags slot line;
+    touch t slot
+  end
+
+let invalidate_all t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0

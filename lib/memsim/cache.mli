@@ -1,0 +1,38 @@
+(** A single level of set-associative cache with LRU replacement.
+
+    Addresses are byte addresses in the simulated virtual address space; the
+    cache operates on line-granular tags.  This module is purely about
+    hit/miss bookkeeping — latencies and inter-level traffic live in
+    {!Hierarchy}. *)
+
+type t
+
+type geometry = {
+  size_bytes : int;  (** total capacity *)
+  ways : int;  (** associativity *)
+  line_bytes : int;  (** cache line size, a power of two (64 in the paper) *)
+}
+
+val create : geometry -> t
+(** @raise Invalid_argument if the geometry is not a power-of-two number of
+    sets or the line size is not a power of two. *)
+
+val geometry : t -> geometry
+
+val line_of_addr : t -> int -> int
+(** [line_of_addr t addr] is the line-granular address ([addr / line_bytes]). *)
+
+val access : t -> int -> bool
+(** [access t line] looks up line-address [line]; on hit, refreshes LRU and
+    returns [true]; on miss, inserts [line] (evicting the LRU way) and returns
+    [false]. *)
+
+val probe : t -> int -> bool
+(** [probe t line] is a lookup with no side effects (no LRU update, no fill). *)
+
+val insert : t -> int -> unit
+(** [insert t line] fills [line] without counting as a demand access (used for
+    prefetches).  No-op if already present (but refreshes LRU). *)
+
+val invalidate_all : t -> unit
+(** Empty the cache (between benchmark runs). *)

@@ -1,0 +1,161 @@
+type config = {
+  l1 : Cache.geometry;
+  l2 : Cache.geometry;
+  llc : Cache.geometry;
+  lat_l1 : int;
+  lat_l2 : int;
+  lat_llc : int;
+  lat_mem : int;
+  lat_store : int;
+  prefetch : bool;
+  tlb : bool;
+  tlb_entries : int;
+  tlb_ways : int;
+  tlb_page_bytes : int;
+  lat_tlb_miss : int;
+}
+
+let default_config =
+  {
+    l1 = { Cache.size_bytes = 32 * 1024; ways = 8; line_bytes = 64 };
+    l2 = { Cache.size_bytes = 256 * 1024; ways = 8; line_bytes = 64 };
+    llc = { Cache.size_bytes = 4 * 1024 * 1024; ways = 16; line_bytes = 64 };
+    lat_l1 = 4;
+    lat_l2 = 12;
+    lat_llc = 40;
+    lat_mem = 200;
+    lat_store = 2;
+    prefetch = true;
+    tlb = false;
+    tlb_entries = 64;
+    tlb_ways = 4;
+    tlb_page_bytes = 4096;
+    lat_tlb_miss = 25;
+  }
+
+type counters = {
+  loads : int;
+  stores : int;
+  l1_misses : int;
+  l2_misses : int;
+  llc_misses : int;
+  prefetches : int;
+}
+
+type t = {
+  cfg : config;
+  c1 : Cache.t;
+  c2 : Cache.t;
+  c3 : Cache.t;
+  pf : Prefetcher.t;
+  mutable loads : int;
+  mutable stores : int;
+  mutable l1_misses : int;
+  mutable l2_misses : int;
+  mutable llc_misses : int;
+  mutable prefetches : int;
+}
+
+let create cfg =
+  if
+    cfg.l1.Cache.line_bytes <> cfg.l2.Cache.line_bytes
+    || cfg.l2.Cache.line_bytes <> cfg.llc.Cache.line_bytes
+  then invalid_arg "Hierarchy.create: all levels must share a line size";
+  {
+    cfg;
+    c1 = Cache.create cfg.l1;
+    c2 = Cache.create cfg.l2;
+    c3 = Cache.create cfg.llc;
+    pf = Prefetcher.create ();
+    loads = 0;
+    stores = 0;
+    l1_misses = 0;
+    l2_misses = 0;
+    llc_misses = 0;
+    prefetches = 0;
+  }
+
+let config t = t.cfg
+
+let line_bytes t = t.cfg.l1.Cache.line_bytes
+
+(* Fill [line] into every level without demand accounting. *)
+let prefetch_fill t line =
+  Cache.insert t.c3 line;
+  Cache.insert t.c2 line;
+  Cache.insert t.c1 line;
+  t.prefetches <- t.prefetches + 1
+
+let run_prefetcher t line =
+  if t.cfg.prefetch then
+    List.iter (fun l -> if l >= 0 then prefetch_fill t l) (Prefetcher.observe t.pf line)
+
+(* Demand access for the line; returns latency and maintains inclusion. *)
+let demand t line ~is_load =
+  if Cache.access t.c1 line then t.cfg.lat_l1
+  else begin
+    if is_load then t.l1_misses <- t.l1_misses + 1;
+    if Cache.access t.c2 line then t.cfg.lat_l2
+    else begin
+      if is_load then t.l2_misses <- t.l2_misses + 1;
+      if Cache.access t.c3 line then t.cfg.lat_llc
+      else begin
+        if is_load then t.llc_misses <- t.llc_misses + 1;
+        t.cfg.lat_mem
+      end
+    end
+  end
+
+let load t addr =
+  let line = Cache.line_of_addr t.c1 addr in
+  t.loads <- t.loads + 1;
+  let lat = demand t line ~is_load:true in
+  run_prefetcher t line;
+  lat
+
+let store t addr =
+  let line = Cache.line_of_addr t.c1 addr in
+  t.stores <- t.stores + 1;
+  ignore (demand t line ~is_load:false);
+  run_prefetcher t line;
+  t.cfg.lat_store
+
+let range_fold t addr bytes f =
+  if bytes <= 0 then 0
+  else begin
+    let lb = line_bytes t in
+    let first = addr / lb and last = (addr + bytes - 1) / lb in
+    let total = ref 0 in
+    for line = first to last do
+      total := !total + f (line * lb)
+    done;
+    !total
+  end
+
+let load_range t addr bytes = range_fold t addr bytes (load t)
+let store_range t addr bytes = range_fold t addr bytes (store t)
+
+let counters t =
+  {
+    loads = t.loads;
+    stores = t.stores;
+    l1_misses = t.l1_misses;
+    l2_misses = t.l2_misses;
+    llc_misses = t.llc_misses;
+    prefetches = t.prefetches;
+  }
+
+let reset_counters t =
+  t.loads <- 0;
+  t.stores <- 0;
+  t.l1_misses <- 0;
+  t.l2_misses <- 0;
+  t.llc_misses <- 0;
+  t.prefetches <- 0
+
+let flush t =
+  Cache.invalidate_all t.c1;
+  Cache.invalidate_all t.c2;
+  Cache.invalidate_all t.c3;
+  Prefetcher.reset t.pf;
+  reset_counters t

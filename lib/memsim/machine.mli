@@ -1,0 +1,47 @@
+(** A multi-core machine model: per-core L1/L2 and stream prefetcher, shared
+    LLC.
+
+    The paper's client machine runs mutator and GC threads on separate
+    (hyper)cores: GC work "stays hidden in an unloaded system" but still
+    pollutes the shared LLC and shows up in whole-process perf counters
+    (§4.2, §4.4).  Counters here are machine-wide, like perf's process-level
+    events. *)
+
+type t
+
+val create : ?cfg:Hierarchy.config -> cores:int -> unit -> t
+(** [create ~cores ()] builds [cores] private L1/L2 pairs sharing one LLC.
+    @raise Invalid_argument if [cores < 1]. *)
+
+val cores : t -> int
+
+val line_bytes : t -> int
+
+val load : t -> core:int -> int -> int
+(** Demand load of the line containing the byte address, on the given core;
+    returns latency in cycles. *)
+
+val store : t -> core:int -> int -> int
+
+val load_range : t -> core:int -> int -> int -> int
+(** [load_range t ~core addr bytes] touches every line of the range. *)
+
+val store_range : t -> core:int -> int -> int -> int
+
+val counters : t -> Hierarchy.counters
+(** Machine-wide counters (all cores summed) — what process-level perf
+    reports (§4.2: "the statistics is for the whole process"). *)
+
+val core_counters : t -> core:int -> Hierarchy.counters
+(** Per-core counters, for attributing traffic to mutator vs GC threads
+    (not available to the paper's methodology, but useful for analysis). *)
+
+val tlb_misses : t -> int
+(** Machine-wide dTLB misses (0 unless the config enables the TLB model). *)
+
+val core_tlb_misses : t -> core:int -> int
+
+val reset_counters : t -> unit
+
+val flush : t -> unit
+(** Invalidate all caches and prefetchers, zero counters. *)

@@ -1,0 +1,68 @@
+type stream = {
+  mutable last : int;  (* last line seen in this stream; -1 = free slot *)
+  mutable dir : int;  (* +1 ascending, -1 descending, 0 undecided *)
+  mutable hits : int;  (* consecutive stride confirmations *)
+  mutable lru : int;
+}
+
+type t = {
+  streams : stream array;
+  degree : int;
+  confirm : int;
+  mutable clock : int;
+}
+
+let create ?(streams = 16) ?(degree = 4) ?(confirm = 2) () =
+  {
+    streams =
+      Array.init streams (fun _ -> { last = -1; dir = 0; hits = 0; lru = 0 });
+    degree;
+    confirm;
+    clock = 0;
+  }
+
+let reset t =
+  Array.iter
+    (fun s ->
+      s.last <- -1;
+      s.dir <- 0;
+      s.hits <- 0;
+      s.lru <- 0)
+    t.streams;
+  t.clock <- 0
+
+let observe t line =
+  t.clock <- t.clock + 1;
+  (* Look for a stream whose expected next line matches. *)
+  let matched = ref None in
+  Array.iter
+    (fun s ->
+      if !matched = None && s.last >= 0 then begin
+        let delta = line - s.last in
+        if delta = 1 || delta = -1 then
+          if s.dir = 0 || s.dir = delta then matched := Some (s, delta)
+      end)
+    t.streams;
+  match !matched with
+  | Some (s, delta) ->
+      s.last <- line;
+      s.dir <- delta;
+      s.hits <- s.hits + 1;
+      s.lru <- t.clock;
+      if s.hits >= t.confirm then
+        List.init t.degree (fun i -> line + (delta * (i + 1)))
+      else []
+  | None ->
+      (* Allocate (or steal LRU) a slot for a potential new stream. *)
+      let victim = ref t.streams.(0) in
+      Array.iter
+        (fun s ->
+          if s.last = -1 && !victim.last <> -1 then victim := s
+          else if s.last <> -1 && !victim.last <> -1 && s.lru < !victim.lru then
+            victim := s)
+        t.streams;
+      !victim.last <- line;
+      !victim.dir <- 0;
+      !victim.hits <- 0;
+      !victim.lru <- t.clock;
+      []

@@ -1,0 +1,325 @@
+module Heap = Hcsgc_heap.Heap
+module Heap_obj = Hcsgc_heap.Heap_obj
+module Layout = Hcsgc_heap.Layout
+module Machine = Hcsgc_memsim.Machine
+module Collector = Hcsgc_core.Collector
+module Config = Hcsgc_core.Config
+module Gc_stats = Hcsgc_core.Gc_stats
+module Cost = Hcsgc_core.Cost
+module Vec = Hcsgc_util.Vec
+
+(* How much mutator cost accumulates between GC pump runs. *)
+let pump_quantum = 4096
+
+type t = {
+  machine : Machine.t;
+  heap : Heap.t;
+  collector : Collector.t;
+  saturated : bool;
+  gc_share : float;
+  trigger : float;
+  mutators : int;
+  roots : Heap_obj.t Vec.t;
+  locals : Heap_obj.t Vec.t;
+  mut_clock : int array;  (* per-mutator simulated cycles *)
+  mutable gc_cycles_ : int;
+  mutable stw_cycles_ : int;
+  mutable credit : int;  (* mutator cycles since the last GC pump *)
+  mutable op_count : int;
+  (* Feedback loop (§4.8): observe the mutator miss rate once per GC cycle
+     and retune COLDCONFIDENCE. *)
+  tuner : Hcsgc_core.Autotuner.t option;
+  mutable tuner_cycle : int;
+  mutable tuner_loads : int;
+  mutable tuner_misses : int;
+  recorder : Hcsgc_core.Gc_log.recorder option;
+}
+
+let mutator_core = 0
+
+let create ?layout ?machine_config ?(saturated = false) ?(gc_share = 1.0)
+    ?(trigger = 0.25) ?(autotune = false) ?(gc_log = false) ?(mutators = 1)
+    ~config ~max_heap () =
+  if autotune && not config.Config.hotness then
+    invalid_arg "Vm.create: autotuning requires a HOTNESS-enabled config";
+  if mutators < 1 then invalid_arg "Vm.create: need at least one mutator";
+  if saturated && mutators > 1 then
+    invalid_arg "Vm.create: saturated mode models a single mutator core";
+  let recorder =
+    if gc_log then Some (Hcsgc_core.Gc_log.recorder ()) else None
+  in
+  let cores = if saturated then 1 else mutators + 1 in
+  let machine =
+    match machine_config with
+    | Some cfg -> Machine.create ~cfg ~cores ()
+    | None -> Machine.create ~cores ()
+  in
+  let heap =
+    match layout with
+    | Some layout -> Heap.create ~layout ~max_bytes:max_heap ()
+    | None -> Heap.create ~max_bytes:max_heap ()
+  in
+  let roots = Vec.create () in
+  let locals = Vec.create () in
+  let root_fn () = Vec.to_list roots @ Vec.to_list locals in
+  let collector =
+    let listener =
+      match recorder with
+      | Some r -> Some (Hcsgc_core.Gc_log.listen r)
+      | None -> None
+    in
+    Collector.create ?listener ~heap ~machine ~config
+      ~gc_core:(if saturated then 0 else mutators)
+      ~roots:root_fn ()
+  in
+  {
+    machine;
+    heap;
+    collector;
+    saturated;
+    gc_share;
+    trigger;
+    mutators;
+    roots;
+    locals;
+    mut_clock = Array.make mutators 0;
+    gc_cycles_ = 0;
+    stw_cycles_ = 0;
+    credit = 0;
+    op_count = 0;
+    tuner =
+      (if autotune then
+         Some (Hcsgc_core.Autotuner.create ~initial:config.Config.cold_confidence ())
+       else None);
+    tuner_cycle = 0;
+    tuner_loads = 0;
+    tuner_misses = 0;
+    recorder;
+  }
+
+let check_m t m =
+  if m < 0 || m >= t.mutators then invalid_arg "Vm: mutator index out of range"
+
+(* Wall time follows the slowest mutator thread; pauses (and, on a
+   saturated core, GC work) are serial additions. *)
+let mutator_cycles_sum t = Array.fold_left ( + ) 0 t.mut_clock
+
+let mutator_cycles_max t = Array.fold_left max 0 t.mut_clock
+
+let wall_cycles t =
+  mutator_cycles_max t + t.stw_cycles_ + if t.saturated then t.gc_cycles_ else 0
+
+let absorb_work t (w : Collector.work) =
+  t.gc_cycles_ <- t.gc_cycles_ + w.Collector.gc;
+  t.stw_cycles_ <- t.stw_cycles_ + w.Collector.stw
+
+(* The §4.8 feedback loop: at each new GC cycle, feed the epoch's mutator
+   miss rate to the tuner and apply its COLDCONFIDENCE. *)
+let autotune_step t =
+  match t.tuner with
+  | None -> ()
+  | Some tuner ->
+      let cycles = Gc_stats.cycles (Collector.stats t.collector) in
+      if cycles > t.tuner_cycle then begin
+        t.tuner_cycle <- cycles;
+        let c = Machine.core_counters t.machine ~core:mutator_core in
+        let module H = Hcsgc_memsim.Hierarchy in
+        let loads = c.H.loads - t.tuner_loads in
+        let misses = c.H.l1_misses - t.tuner_misses in
+        t.tuner_loads <- c.H.loads;
+        t.tuner_misses <- c.H.l1_misses;
+        if loads > 256 then begin
+          Hcsgc_core.Autotuner.observe tuner
+            ~miss_rate:(float_of_int misses /. float_of_int loads);
+          Collector.set_cold_confidence t.collector
+            (Hcsgc_core.Autotuner.cold_confidence tuner)
+        end
+      end
+
+(* Give GC threads CPU time proportional to the mutator cycles elapsed. *)
+let pump t =
+  let budget = int_of_float (float_of_int t.credit *. t.gc_share) in
+  t.credit <- 0;
+  Collector.set_wall_hint t.collector (wall_cycles t);
+  if Collector.needs_cycle t.collector ~trigger:t.trigger then
+    absorb_work t (Collector.start_cycle t.collector);
+  if Collector.in_cycle t.collector then
+    absorb_work t (Collector.gc_work t.collector ~budget);
+  autotune_step t
+
+let charge ?(m = 0) t cost =
+  t.mut_clock.(m) <- t.mut_clock.(m) + cost + Cost.op_base;
+  t.credit <- t.credit + cost + Cost.op_base;
+  t.op_count <- t.op_count + 1;
+  if t.credit >= pump_quantum then pump t
+
+let safepoint t =
+  Collector.set_wall_hint t.collector (wall_cycles t);
+  pump t
+
+(* Allocation stall: the mutator blocks until the collector frees enough
+   memory for the allocation to succeed.  GC work done while the mutator is
+   blocked hits wall time (charged through the stw channel), but only as
+   much of it as the stall actually needs — the mutator resumes as soon as a
+   page is available, as with ZGC's allocation stalls. *)
+let stall_chunk = 100_000
+
+let alloc ?(m = 0) t ~nrefs ~nwords =
+  check_m t m;
+  let try_alloc () = Collector.alloc t.collector ~core:m ~nrefs ~nwords in
+  match try_alloc () with
+  | Some (obj, cost) ->
+      charge ~m t cost;
+      obj
+  | None ->
+      let charge_stall (w : Collector.work) =
+        t.stw_cycles_ <- t.stw_cycles_ + w.Collector.gc + w.Collector.stw
+      in
+      let rec stall_loop started_extra_cycle =
+        Collector.set_wall_hint t.collector (wall_cycles t);
+        if
+          Collector.in_cycle t.collector
+          || Collector.pending_relocation_pages t.collector > 0
+        then begin
+          if not (Collector.in_cycle t.collector) then
+            (* Pending lazy relocation while idle: start the next cycle so
+               its leading RE pass can release the floating garbage. *)
+            charge_stall (Collector.start_cycle t.collector);
+          charge_stall (Collector.gc_work t.collector ~budget:stall_chunk);
+          match try_alloc () with
+          | Some (obj, cost) ->
+              charge ~m t cost;
+              obj
+          | None -> stall_loop started_extra_cycle
+        end
+        else if not started_extra_cycle then begin
+          (* Idle with nothing pending: one full extra cycle is the last
+             resort before declaring the heap exhausted. *)
+          charge_stall (Collector.start_cycle t.collector);
+          stall_loop true
+        end
+        else raise Collector.Out_of_memory
+      in
+      stall_loop false
+
+let load_ref ?(m = 0) t obj slot =
+  check_m t m;
+  let target, cost = Collector.load_ref t.collector ~core:m obj ~slot in
+  charge ~m t cost;
+  target
+
+let store_ref ?(m = 0) t obj slot target =
+  check_m t m;
+  let cost = Collector.store_ref t.collector ~core:m obj ~slot target in
+  charge ~m t cost
+
+let layout t = Heap.layout t.heap
+
+let load_word ?(m = 0) t obj i =
+  check_m t m;
+  let cost = Collector.use_handle t.collector ~core:m obj in
+  let addr = Heap_obj.payload_addr ~layout:(layout t) obj i in
+  let cost = cost + Machine.load t.machine ~core:m addr in
+  charge ~m t cost;
+  Heap_obj.get_word obj i
+
+let store_word ?(m = 0) t obj i v =
+  check_m t m;
+  let cost = Collector.use_handle t.collector ~core:m obj in
+  let addr = Heap_obj.payload_addr ~layout:(layout t) obj i in
+  let cost = cost + Machine.store t.machine ~core:m addr in
+  Heap_obj.set_word obj i v;
+  charge ~m t cost
+
+let touch ?(m = 0) t obj =
+  check_m t m;
+  let cost = Collector.use_handle t.collector ~core:m obj in
+  let cost = cost + Machine.load t.machine ~core:m obj.Heap_obj.addr in
+  charge ~m t cost
+
+let work ?(m = 0) t n =
+  check_m t m;
+  if n > 0 then begin
+    t.mut_clock.(m) <- t.mut_clock.(m) + n;
+    t.credit <- t.credit + n;
+    if t.credit >= pump_quantum then pump t
+  end
+
+let add_root t obj = Vec.push t.roots obj
+
+let remove_root t obj =
+  let keep = Vec.to_list t.roots |> List.filter (fun o -> o != obj) in
+  Vec.clear t.roots;
+  List.iter (Vec.push t.roots) keep
+
+let push_local t obj = Vec.push t.locals obj
+
+let local_frame t f =
+  let depth = Vec.length t.locals in
+  Fun.protect
+    ~finally:(fun () ->
+      while Vec.length t.locals > depth do
+        ignore (Vec.pop t.locals)
+      done)
+    f
+
+let with_local t obj f =
+  local_frame t (fun () ->
+      push_local t obj;
+      f ())
+
+let mutator_cycles t = mutator_cycles_max t
+
+let mutator_count t = t.mutators
+
+let mutator_clock t ~m =
+  check_m t m;
+  t.mut_clock.(m)
+
+let _ = mutator_cycles_sum
+let gc_cycles t = t.gc_cycles_
+let stw_cycles t = t.stw_cycles_
+let ops t = t.op_count
+let counters t = Machine.counters t.machine
+
+let mutator_counters t =
+  let module H = Hcsgc_memsim.Hierarchy in
+  let sum = ref (Machine.core_counters t.machine ~core:0) in
+  for m = 1 to t.mutators - 1 do
+    let c = Machine.core_counters t.machine ~core:m in
+    sum :=
+      {
+        H.loads = !sum.H.loads + c.H.loads;
+        stores = !sum.H.stores + c.H.stores;
+        l1_misses = !sum.H.l1_misses + c.H.l1_misses;
+        l2_misses = !sum.H.l2_misses + c.H.l2_misses;
+        llc_misses = !sum.H.llc_misses + c.H.llc_misses;
+        prefetches = !sum.H.prefetches + c.H.prefetches;
+      }
+  done;
+  !sum
+
+let autotuned_cold_confidence t =
+  Option.map Hcsgc_core.Autotuner.cold_confidence t.tuner
+
+let gc_log t = t.recorder
+let gc_stats t = Collector.stats t.collector
+let heap t = t.heap
+let collector t = t.collector
+let config t = Collector.config t.collector
+
+let finish t =
+  Collector.set_wall_hint t.collector (wall_cycles t);
+  if Collector.in_cycle t.collector then
+    absorb_work t (Collector.gc_work t.collector ~budget:max_int)
+
+let full_gc t =
+  let charge (w : Collector.work) =
+    t.stw_cycles_ <- t.stw_cycles_ + w.Collector.gc + w.Collector.stw
+  in
+  for _ = 1 to 2 do
+    Collector.set_wall_hint t.collector (wall_cycles t);
+    if not (Collector.in_cycle t.collector) then
+      charge (Collector.start_cycle t.collector);
+    charge (Collector.drain t.collector)
+  done

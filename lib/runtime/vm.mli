@@ -1,0 +1,145 @@
+(** The user-facing managed runtime: allocation, barriered field access,
+    roots, and the cooperative mutator/GC schedule.
+
+    {2 Execution-time model}
+
+    Every mutator operation is charged simulated cycles (base cost + cache
+    latencies + any barrier slow-path work, including relocation copying the
+    mutator performs).  GC-thread work accumulates separately; it runs "for
+    free" on a spare core, unless the VM is created [~saturated:true], which
+    models the paper's single-core experiment (Fig. 6) where GC work competes
+    with the mutator for CPU and is added to wall time.  Stop-the-world
+    pauses always hit wall time.
+
+    {2 Rooting discipline}
+
+    Objects are reached through OCaml-side handles ({!Hcsgc_heap.Heap_obj.t});
+    handles survive relocation.  Any object the workload holds across an
+    allocation must be reachable from a registered root (or a pushed local),
+    otherwise the collector may reclaim it and later use raises
+    {!Hcsgc_core.Collector.Invalid_handle}.  Objects are also kept alive by
+    being stored to or loaded from during a cycle. *)
+
+module Heap_obj = Hcsgc_heap.Heap_obj
+module Collector = Hcsgc_core.Collector
+
+type t
+
+val create :
+  ?layout:Hcsgc_heap.Layout.t ->
+  ?machine_config:Hcsgc_memsim.Hierarchy.config ->
+  ?saturated:bool ->
+  ?gc_share:float ->
+  ?trigger:float ->
+  ?autotune:bool ->
+  ?gc_log:bool ->
+  ?mutators:int ->
+  config:Hcsgc_core.Config.t ->
+  max_heap:int ->
+  unit ->
+  t
+(** [create ~config ~max_heap ()] builds a VM with a [max_heap]-byte heap.
+    [machine_config] overrides the cache geometry (default: the paper's
+    client machine; benches use a proportionally scaled-down hierarchy to
+    match their scaled-down working sets).
+    [saturated] (default false) pins mutator and GC to one core.  [gc_share]
+    (default 1.0) is GC-thread cycles available per mutator cycle.
+    [trigger] (default 0.25) is the fraction of the heap that must be
+    allocated since the last cycle start before a new GC cycle begins
+    (allocation-budget pacing, the deterministic stand-in for ZGC's
+    allocation-rate heuristics).
+    [autotune] (default false) enables the §4.8 feedback loop: the mutator's
+    L1 miss rate is sampled once per GC cycle and COLDCONFIDENCE retuned by
+    {!Hcsgc_core.Autotuner} — requires a HOTNESS-enabled config.
+    [gc_log] (default false) records structured GC events
+    ({!Hcsgc_core.Gc_log}), retrievable via {!gc_log}.
+    [mutators] (default 1) is the number of logical mutator threads, each
+    with its own core (private L1/L2, own relocation/allocation target
+    pages, own clock); the workload interleaves them cooperatively by
+    passing [~m] to the mutator operations.  Wall time follows the slowest
+    mutator.  Incompatible with [saturated]. *)
+
+(** {2 Mutator operations} *)
+
+val alloc : ?m:int -> t -> nrefs:int -> nwords:int -> Heap_obj.t
+(** Allocate a managed object.  May run GC (this is the safepoint where
+    cycles start).  [m] selects the mutator thread (default 0).
+    @raise Collector.Out_of_memory if the heap is exhausted even after a
+    forced collection. *)
+
+val load_ref : ?m:int -> t -> Heap_obj.t -> int -> Heap_obj.t option
+(** Barriered reference-slot load. *)
+
+val store_ref : ?m:int -> t -> Heap_obj.t -> int -> Heap_obj.t option -> unit
+
+val load_word : ?m:int -> t -> Heap_obj.t -> int -> int
+(** Payload word load (touches memory through the cache simulator). *)
+
+val store_word : ?m:int -> t -> Heap_obj.t -> int -> int -> unit
+
+val touch : ?m:int -> t -> Heap_obj.t -> unit
+(** Access an object without reading a specific field (header touch). *)
+
+val work : ?m:int -> t -> int -> unit
+(** Charge [n] cycles of pure compute (no memory traffic). *)
+
+val safepoint : t -> unit
+(** Explicit safepoint: give the collector a chance to start/advance. *)
+
+(** {2 Roots} *)
+
+val add_root : t -> Heap_obj.t -> unit
+val remove_root : t -> Heap_obj.t -> unit
+
+val with_local : t -> Heap_obj.t -> (unit -> 'a) -> 'a
+(** Keep a handle rooted for the dynamic extent of the callback. *)
+
+val push_local : t -> Heap_obj.t -> unit
+val local_frame : t -> (unit -> 'a) -> 'a
+(** Run the callback; locals pushed inside are dropped afterwards. *)
+
+(** {2 Measurement} *)
+
+val wall_cycles : t -> int
+(** The run's simulated execution time. *)
+
+val mutator_cycles : t -> int
+(** The slowest mutator thread's clock (equals the only mutator's clock in
+    the single-threaded case). *)
+
+val mutator_count : t -> int
+
+val mutator_clock : t -> m:int -> int
+(** A specific mutator thread's simulated cycles. *)
+
+val gc_cycles : t -> int
+val stw_cycles : t -> int
+val ops : t -> int
+
+val counters : t -> Hcsgc_memsim.Hierarchy.counters
+(** Machine-wide cache counters (mutator + GC, like whole-process perf). *)
+
+val mutator_counters : t -> Hcsgc_memsim.Hierarchy.counters
+(** Counters summed over the mutator cores only (unavailable to the paper's
+    methodology; used for analysis and tests). *)
+
+val autotuned_cold_confidence : t -> float option
+(** The feedback loop's current COLDCONFIDENCE, when autotuning is on. *)
+
+val gc_log : t -> Hcsgc_core.Gc_log.recorder option
+(** The GC event recorder, when the VM was created with [~gc_log:true]. *)
+
+val gc_stats : t -> Hcsgc_core.Gc_stats.t
+val heap : t -> Hcsgc_heap.Heap.t
+val collector : t -> Collector.t
+val config : t -> Hcsgc_core.Config.t
+
+val finish : t -> unit
+(** Complete any in-flight GC cycle (without forcing relocation of a pending
+    lazy set) so end-of-run statistics are stable. *)
+
+val full_gc : t -> unit
+(** Force two complete GC cycles (the [System.gc()] analogue): the first
+    collects, the second releases pages that only became candidates after
+    the first — leaving heap usage a faithful measure of the live set.
+    GC work done here is charged to wall time (the mutator requested it). *)

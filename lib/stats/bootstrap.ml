@@ -1,0 +1,34 @@
+module Rng = Hcsgc_util.Rng
+
+type estimate = {
+  mean : float;
+  ci_lo : float;
+  ci_hi : float;
+  resamples : int;
+}
+
+let estimate ?(resamples = 10_000) ?(confidence = 0.95) ~seed xs =
+  if Array.length xs = 0 then invalid_arg "Bootstrap.estimate: empty sample";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Bootstrap.estimate: confidence outside (0,1)";
+  let n = Array.length xs in
+  let rng = Rng.create seed in
+  let means = Array.make resamples 0.0 in
+  for r = 0 to resamples - 1 do
+    let sum = ref 0.0 in
+    for _ = 1 to n do
+      sum := !sum +. xs.(Rng.int rng n)
+    done;
+    means.(r) <- !sum /. float_of_int n
+  done;
+  let alpha = (1.0 -. confidence) /. 2.0 in
+  {
+    mean = Descriptive.mean means;
+    ci_lo = Descriptive.quantile means alpha;
+    ci_hi = Descriptive.quantile means (1.0 -. alpha);
+    resamples;
+  }
+
+let overlaps a b = a.ci_lo <= b.ci_hi && b.ci_lo <= a.ci_hi
+
+let relative_to ~baseline e = (e.mean -. baseline.mean) /. baseline.mean

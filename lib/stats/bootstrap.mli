@@ -1,0 +1,27 @@
+(** Bootstrap mean estimates with confidence intervals (§4.2).
+
+    The paper resamples with replacement 10 000 times, takes the mean of
+    each resample, and reports the mean of the bootstrap means with the
+    2.5 / 97.5 percentiles as the 95 % confidence interval.  Two
+    configurations differ significantly when their intervals do not
+    overlap. *)
+
+type estimate = {
+  mean : float;  (** mean of the bootstrap means *)
+  ci_lo : float;  (** 2.5th percentile *)
+  ci_hi : float;  (** 97.5th percentile *)
+  resamples : int;
+}
+
+val estimate :
+  ?resamples:int -> ?confidence:float -> seed:int -> float array -> estimate
+(** [estimate ~seed xs] bootstraps the mean of [xs].  Defaults: 10 000
+    resamples, 95 % confidence.  Deterministic given [seed].
+    @raise Invalid_argument on an empty sample or confidence outside (0,1). *)
+
+val overlaps : estimate -> estimate -> bool
+(** Whether two confidence intervals overlap (no significant difference). *)
+
+val relative_to : baseline:estimate -> estimate -> float
+(** [(x.mean − baseline.mean) / baseline.mean] — the paper's
+    normalised-against-ZGC delta (negative = speedup). *)

@@ -1,0 +1,87 @@
+type boxplot = {
+  q1 : float;
+  median : float;
+  q3 : float;
+  iqr : float;
+  whisker_lo : float;
+  whisker_hi : float;
+  mild_outliers : float list;
+  extreme_outliers : float list;
+}
+
+let check xs = if Array.length xs = 0 then invalid_arg "Descriptive: empty sample"
+
+let mean xs =
+  check xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let sorted xs =
+  let c = Array.copy xs in
+  Array.sort compare c;
+  c
+
+let quantile xs p =
+  check xs;
+  if p < 0.0 || p > 1.0 then invalid_arg "Descriptive.quantile: p outside [0,1]";
+  let s = sorted xs in
+  let n = Array.length s in
+  if n = 1 then s.(0)
+  else begin
+    let pos = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    (s.(lo) *. (1.0 -. frac)) +. (s.(hi) *. frac)
+  end
+
+let median xs = quantile xs 0.5
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let boxplot xs =
+  check xs;
+  let q1 = quantile xs 0.25 in
+  let q3 = quantile xs 0.75 in
+  let iqr = q3 -. q1 in
+  let fence_lo = q1 -. (1.5 *. iqr) and fence_hi = q3 +. (1.5 *. iqr) in
+  let extreme_lo = q1 -. (3.0 *. iqr) and extreme_hi = q3 +. (3.0 *. iqr) in
+  let s = sorted xs in
+  let inliers =
+    Array.to_list s |> List.filter (fun x -> x >= fence_lo && x <= fence_hi)
+  in
+  let whisker_lo =
+    match inliers with [] -> q1 | x :: _ -> x
+  in
+  let whisker_hi =
+    match List.rev inliers with [] -> q3 | x :: _ -> x
+  in
+  let mild, extreme =
+    Array.to_list s
+    |> List.filter (fun x -> x < fence_lo || x > fence_hi)
+    |> List.partition (fun x -> x >= extreme_lo && x <= extreme_hi)
+  in
+  {
+    q1;
+    median = median xs;
+    q3;
+    iqr;
+    whisker_lo;
+    whisker_hi;
+    mild_outliers = mild;
+    extreme_outliers = extreme;
+  }
+
+let min xs =
+  check xs;
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  check xs;
+  Array.fold_left Stdlib.max xs.(0) xs

@@ -1,0 +1,36 @@
+(** Descriptive statistics for the paper's box plots (§4.2).
+
+    Quartile convention follows the paper's description (Tukey box plots):
+    Q1/Q3 split off the lowest/highest 25 %; outliers fall outside
+    [Q1 − 1.5·IQR, Q3 + 1.5·IQR]; extreme outliers outside
+    [Q1 − 3·IQR, Q3 + 3·IQR]; whiskers reach the furthest non-outliers. *)
+
+type boxplot = {
+  q1 : float;
+  median : float;
+  q3 : float;
+  iqr : float;
+  whisker_lo : float;
+  whisker_hi : float;
+  mild_outliers : float list;
+  extreme_outliers : float list;
+}
+
+val mean : float array -> float
+(** @raise Invalid_argument on an empty array. *)
+
+val median : float array -> float
+(** @raise Invalid_argument on an empty array. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs p] with linear interpolation, [p] in [0, 1].
+    @raise Invalid_argument on an empty array or p outside [0, 1]. *)
+
+val stddev : float array -> float
+(** Sample standard deviation; 0 for arrays shorter than 2. *)
+
+val boxplot : float array -> boxplot
+(** @raise Invalid_argument on an empty array. *)
+
+val min : float array -> float
+val max : float array -> float

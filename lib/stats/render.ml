@@ -1,0 +1,51 @@
+let table fmt ~headers ~rows =
+  let ncols = List.length headers in
+  let pad row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map pad rows in
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Format.pp_print_string fmt "  ";
+        Format.fprintf fmt "%-*s" widths.(i) cell)
+      cells;
+    Format.pp_print_newline fmt ()
+  in
+  print_row headers;
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Format.pp_print_string fmt rule;
+  Format.pp_print_newline fmt ();
+  List.iter print_row rows
+
+let boxplot_line (b : Descriptive.boxplot) =
+  Printf.sprintf "%.3g | %.3g | %.3g  (whisk %.3g..%.3g, %d mild, %d extreme)"
+    b.Descriptive.q1 b.Descriptive.median b.Descriptive.q3
+    b.Descriptive.whisker_lo b.Descriptive.whisker_hi
+    (List.length b.Descriptive.mild_outliers)
+    (List.length b.Descriptive.extreme_outliers)
+
+let estimate_cell (e : Bootstrap.estimate) =
+  Printf.sprintf "%.4g [%.4g, %.4g]" e.Bootstrap.mean e.Bootstrap.ci_lo
+    e.Bootstrap.ci_hi
+
+let pct x = Printf.sprintf "%+.2f%%" (100.0 *. x)
+
+let si x =
+  let ax = Float.abs x in
+  if ax >= 1e9 then Printf.sprintf "%.2fG" (x /. 1e9)
+  else if ax >= 1e6 then Printf.sprintf "%.2fM" (x /. 1e6)
+  else if ax >= 1e3 then Printf.sprintf "%.2fk" (x /. 1e3)
+  else Printf.sprintf "%.0f" x

@@ -1,0 +1,19 @@
+(** Plain-text rendering of the paper's figure panels: aligned tables and
+    one-line box-plot summaries. *)
+
+val table :
+  Format.formatter -> headers:string list -> rows:string list list -> unit
+(** Render an aligned table with a header rule.  Rows shorter than the
+    header are padded with empty cells. *)
+
+val boxplot_line : Descriptive.boxplot -> string
+(** ["q1 .. med .. q3 (whiskers lo..hi, m mild, e extreme)"]. *)
+
+val estimate_cell : Bootstrap.estimate -> string
+(** ["mean [lo, hi]"]. *)
+
+val pct : float -> string
+(** Signed percentage with two decimals, e.g. [-30.25%]. *)
+
+val si : float -> string
+(** Human-scaled number (k/M/G). *)

@@ -1,0 +1,60 @@
+type t = { bits : Bytes.t; length : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitmap.create: negative size";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; length = n }
+
+let length t = t.length
+
+let check t i =
+  if i < 0 || i >= t.length then invalid_arg "Bitmap: index out of range"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i;
+  let byte = i lsr 3 in
+  let v = Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl (i land 7)) in
+  Bytes.unsafe_set t.bits byte (Char.unsafe_chr v)
+
+let clear t i =
+  check t i;
+  let byte = i lsr 3 in
+  let v = Char.code (Bytes.unsafe_get t.bits byte) land lnot (1 lsl (i land 7)) in
+  Bytes.unsafe_set t.bits byte (Char.unsafe_chr v)
+
+let test_and_set t i =
+  let was = get t i in
+  if not was then set t i;
+  was
+
+let reset t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let pop_count t =
+  let count = ref 0 in
+  for b = 0 to Bytes.length t.bits - 1 do
+    let v = ref (Char.code (Bytes.unsafe_get t.bits b)) in
+    while !v <> 0 do
+      v := !v land (!v - 1);
+      incr count
+    done
+  done;
+  !count
+
+let iter_set t f =
+  for b = 0 to Bytes.length t.bits - 1 do
+    let v = Char.code (Bytes.unsafe_get t.bits b) in
+    if v <> 0 then
+      for bit = 0 to 7 do
+        if v land (1 lsl bit) <> 0 then
+          let i = (b lsl 3) lor bit in
+          if i < t.length then f i
+      done
+  done
+
+let fold_set t ~init ~f =
+  let acc = ref init in
+  iter_set t (fun i -> acc := f !acc i);
+  !acc

@@ -1,0 +1,41 @@
+(** Fixed-capacity bit sets.
+
+    Used for the per-page {e livemap} and {e hotmap} (§3.1.2 of the paper):
+    one bit per minimum object alignment granule on a page.  Reset must be
+    O(words), not O(bits), because both maps are cleared at the start of every
+    M/R phase. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a bitmap of [n] bits, all clear.
+    @raise Invalid_argument if [n < 0]. *)
+
+val length : t -> int
+(** Capacity in bits. *)
+
+val get : t -> int -> bool
+(** [get t i] reads bit [i].  @raise Invalid_argument if out of range. *)
+
+val set : t -> int -> unit
+(** [set t i] sets bit [i]. *)
+
+val clear : t -> int -> unit
+(** [clear t i] clears bit [i]. *)
+
+val test_and_set : t -> int -> bool
+(** [test_and_set t i] sets bit [i] and returns whether it was previously set.
+    Models the CAS used by the paper's hotmap update (the return value lets a
+    caller charge the CAS cost only once per object). *)
+
+val reset : t -> unit
+(** Clear every bit (word-wise). *)
+
+val pop_count : t -> int
+(** Number of set bits. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** [iter_set t f] applies [f] to the index of every set bit, ascending. *)
+
+val fold_set : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold over set-bit indices, ascending. *)

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows through this module so that an
+    experiment is a pure function of its seed: two runs with equal seeds are
+    bit-identical.  The generator is SplitMix64 (Steele, Lea & Flood 2014),
+    chosen for speed, a one-word state that is cheap to fork, and good
+    statistical quality for simulation purposes. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator from [t],
+    advancing [t].  Used to give each mutator thread / workload phase its own
+    stream without correlating them. *)
+
+val next : t -> int
+(** [next t] returns a uniformly distributed non-negative int (62 bits). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** Fisher–Yates in-place shuffle. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] samples an exponential distribution (inter-arrival
+    times for the SPECjbb-style injector). *)

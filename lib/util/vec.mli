@@ -1,0 +1,41 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray] in the stdlib).
+
+    Used throughout the simulator for page tables, work lists and per-page
+    object vectors. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** An empty vector. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of [n] copies of [x]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument if out of range. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument if out of range. *)
+
+val push : 'a t -> 'a -> unit
+(** Append at the end, growing geometrically. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the last element, or [None] if empty. *)
+
+val clear : 'a t -> unit
+(** Logical reset to length 0; capacity is retained. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val of_list : 'a list -> 'a t
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** In-place sort of the live prefix. *)

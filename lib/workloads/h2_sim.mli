@@ -1,0 +1,33 @@
+(** An in-memory relational-database workload standing in for DaCapo's {e h2}
+    (§4.6, Fig. 12).
+
+    The substitution preserves what made h2 responsive to HCSGC: a large
+    population of {e long-lived} rows, a skewed and {e recurring} query mix
+    (the same hot keys are probed batch after batch), hash-index bucket
+    chains interleaving hot and cold rows on the same pages, and steady
+    transient allocation (result sets, temporary tuples) that both triggers
+    GC and dilutes row pages with garbage. *)
+
+module Vm = Hcsgc_runtime.Vm
+
+type params = {
+  rows : int;  (** table cardinality (long-lived row objects) *)
+  row_words : int;  (** payload words per row *)
+  buckets : int;  (** hash-index width *)
+  transactions : int;
+  ops_per_txn : int;  (** point queries/updates per transaction *)
+  hot_keys : int;  (** size of the skewed hot key set *)
+  hot_bias : float;  (** probability a query hits the hot set *)
+  scan_every : int;  (** transactions between full index scans (0 = never) *)
+  seed : int;
+}
+
+type result = {
+  queries : int;
+  hits : int;  (** point queries that found their row *)
+  checksum : int;
+}
+
+val default : params
+
+val run : Vm.t -> params -> result

@@ -1,0 +1,153 @@
+module Vm = Hcsgc_runtime.Vm
+module Rng = Hcsgc_util.Rng
+
+type params = {
+  capacity : int;
+  buckets : int;
+  operations : int;
+  key_space : int;
+  hot_keys : int;
+  hot_bias : float;
+  value_words : int;
+  seed : int;
+}
+
+type result = {
+  gets : int;
+  hits : int;
+  puts : int;
+  evictions : int;
+  checksum : int;
+}
+
+let default =
+  {
+    capacity = 20_000;
+    buckets = 2_048;
+    operations = 150_000;
+    key_space = 60_000;
+    hot_keys = 4_000;
+    hot_bias = 0.85;
+    value_words = 4;
+    seed = 0;
+  }
+
+(* Entry object shape:
+   refs    = [hash_next; lru_prev; lru_next]
+   payload = [key; value...] *)
+let f_hash_next = 0
+let f_prev = 1
+let f_next = 2
+let w_key = 0
+
+(* The cache root object: refs = [lru_head; lru_tail] + one slot per hash
+   bucket. *)
+let r_head = 0
+let r_tail = 1
+let bucket_slot b = 2 + b
+
+let run vm p =
+  if p.capacity <= 0 || p.buckets <= 0 then invalid_arg "Lru_sim.run: bad params";
+  let rng = Rng.create p.seed in
+  let root = Vm.alloc vm ~nrefs:(2 + p.buckets) ~nwords:1 in
+  Vm.add_root vm root;
+  let size = ref 0 in
+  let bucket_of key = key mod p.buckets in
+  let find key =
+    let rec walk = function
+      | None -> None
+      | Some e ->
+          if Vm.load_word vm e w_key = key then Some e
+          else walk (Vm.load_ref vm e f_hash_next)
+    in
+    walk (Vm.load_ref vm root (bucket_slot (bucket_of key)))
+  in
+  (* Unlink [e] from the LRU list (leaves hash chain untouched). *)
+  let lru_unlink e =
+    let prev = Vm.load_ref vm e f_prev and next = Vm.load_ref vm e f_next in
+    (match prev with
+    | Some prev -> Vm.store_ref vm prev f_next next
+    | None -> Vm.store_ref vm root r_head next);
+    (match next with
+    | Some next -> Vm.store_ref vm next f_prev prev
+    | None -> Vm.store_ref vm root r_tail prev);
+    Vm.store_ref vm e f_prev None;
+    Vm.store_ref vm e f_next None
+  in
+  (* Push [e] at the head of the LRU list. *)
+  let lru_push_front e =
+    let head = Vm.load_ref vm root r_head in
+    Vm.store_ref vm e f_next head;
+    Vm.store_ref vm e f_prev None;
+    (match head with
+    | Some head -> Vm.store_ref vm head f_prev (Some e)
+    | None -> Vm.store_ref vm root r_tail (Some e));
+    Vm.store_ref vm root r_head (Some e)
+  in
+  let hash_unlink key e =
+    let b = bucket_slot (bucket_of key) in
+    let rec walk prev cur =
+      match cur with
+      | None -> ()
+      | Some c ->
+          if c == e then begin
+            let next = Vm.load_ref vm c f_hash_next in
+            match prev with
+            | Some prev -> Vm.store_ref vm prev f_hash_next next
+            | None -> Vm.store_ref vm root b next
+          end
+          else walk cur (Vm.load_ref vm c f_hash_next)
+    in
+    walk None (Vm.load_ref vm root b)
+  in
+  let evictions = ref 0 in
+  let evict_tail () =
+    match Vm.load_ref vm root r_tail with
+    | None -> ()
+    | Some tail ->
+        let key = Vm.load_word vm tail w_key in
+        lru_unlink tail;
+        hash_unlink key tail;
+        incr evictions;
+        decr size
+  in
+  let insert key =
+    if !size >= p.capacity then evict_tail ();
+    let e = Vm.alloc vm ~nrefs:3 ~nwords:(1 + p.value_words) in
+    Vm.store_word vm e w_key key;
+    for wv = 1 to p.value_words do
+      Vm.store_word vm e wv (key + wv)
+    done;
+    let b = bucket_slot (bucket_of key) in
+    Vm.store_ref vm e f_hash_next (Vm.load_ref vm root b);
+    Vm.store_ref vm root b (Some e);
+    lru_push_front e;
+    incr size
+  in
+  let gets = ref 0 and hits = ref 0 and puts = ref 0 and checksum = ref 0 in
+  for _ = 1 to p.operations do
+    let key =
+      if Rng.float rng 1.0 < p.hot_bias then
+        Rng.int rng (max 1 p.hot_keys) * 31 mod p.key_space
+      else Rng.int rng p.key_space
+    in
+    incr gets;
+    match find key with
+    | Some e ->
+        incr hits;
+        checksum := !checksum lxor Vm.load_word vm e 1;
+        (* Touch-to-front: the LRU pointer surgery. *)
+        lru_unlink e;
+        lru_push_front e
+    | None ->
+        incr puts;
+        insert key
+  done;
+  Vm.remove_root vm root;
+  {
+    gets = !gets;
+    hits = !hits;
+    puts = !puts;
+    evictions = !evictions;
+    checksum = !checksum;
+  }

@@ -1,0 +1,36 @@
+(** An in-memory LRU object-cache service.
+
+    Not one of the paper's benchmarks, but the kind of long-running,
+    pointer-chasing application its introduction motivates: a hash index
+    over cache entries threaded onto a doubly-linked LRU list.  Every [get]
+    performs pointer surgery (unlink + relink at the head) through the
+    write barriers, and a skewed key distribution keeps a stable hot set —
+    so it doubles as a stress test for reference updates under concurrent
+    relocation and as a realistic HCSGC beneficiary. *)
+
+module Vm = Hcsgc_runtime.Vm
+
+type params = {
+  capacity : int;  (** cache entries kept live (LRU evicts beyond this) *)
+  buckets : int;  (** hash-index width *)
+  operations : int;
+  key_space : int;  (** distinct keys requested *)
+  hot_keys : int;  (** size of the skewed hot set *)
+  hot_bias : float;
+  value_words : int;  (** payload words per entry *)
+  seed : int;
+}
+
+type result = {
+  gets : int;
+  hits : int;
+  puts : int;
+  evictions : int;
+  checksum : int;
+}
+
+val default : params
+
+val run : Vm.t -> params -> result
+(** Drive the cache: each operation requests a key (hot-biased); a miss
+    inserts a freshly allocated entry, evicting the LRU tail when full. *)

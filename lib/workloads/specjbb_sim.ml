@@ -1,0 +1,154 @@
+module Vm = Hcsgc_runtime.Vm
+module Rng = Hcsgc_util.Rng
+
+type params = {
+  warehouses : int;
+  items_per_warehouse : int;
+  handlers : int;
+  ramp_steps : int;
+  txns_per_step : int;
+  base_interarrival : int;
+  lines_per_txn : int;
+  sla_factor : float;
+  seed : int;
+}
+
+type result = {
+  max_jops : float;
+  critical_jops : float;
+  mean_latency : float;
+  survival_rate : float;
+}
+
+let default =
+  {
+    warehouses = 8;
+    items_per_warehouse = 4_000;
+    handlers = 2;
+    ramp_steps = 12;
+    txns_per_step = 800;
+    base_interarrival = 24_000;
+    lines_per_txn = 12;
+    sla_factor = 3.0;
+    seed = 0;
+  }
+
+let run vm p =
+  if p.warehouses <= 0 || p.ramp_steps <= 0 then
+    invalid_arg "Specjbb_sim.run: bad params";
+  let handlers = max 1 (min p.handlers (Vm.mutator_count vm)) in
+  let rng = Rng.create p.seed in
+  (* Long-lived inventory: one item table per warehouse. *)
+  let company = Vm.alloc vm ~nrefs:p.warehouses ~nwords:0 in
+  Vm.add_root vm company;
+  for w = 0 to p.warehouses - 1 do
+    let items = Vm.alloc vm ~nrefs:p.items_per_warehouse ~nwords:0 in
+    Vm.store_ref vm company w (Some items);
+    for i = 0 to p.items_per_warehouse - 1 do
+      let item = Vm.alloc vm ~nrefs:0 ~nwords:3 in
+      Vm.store_word vm item 0 i;
+      Vm.store_word vm item 1 100;
+      Vm.store_ref vm items i (Some item)
+    done
+  done;
+  let live_baseline = Hcsgc_heap.Heap.used_bytes (Vm.heap vm) in
+  let allocated_baseline =
+    Hcsgc_core.Gc_stats.bytes_allocated (Vm.gc_stats vm)
+  in
+  (* A transaction on handler thread [m]: pick a warehouse, order
+     [lines_per_txn] random items, allocating an order-line object per item
+     — all garbage after commit.  Returns its service time in simulated
+     cycles on that handler's clock. *)
+  let run_txn ~m =
+    let t0 = Vm.mutator_clock vm ~m in
+    let w = Rng.int rng p.warehouses in
+    let items = Option.get (Vm.load_ref ~m vm company w) in
+    Vm.local_frame vm (fun () ->
+        let order = Vm.alloc ~m vm ~nrefs:p.lines_per_txn ~nwords:2 in
+        Vm.push_local vm order;
+        let total = ref 0 in
+        for l = 0 to p.lines_per_txn - 1 do
+          let i = Rng.int rng p.items_per_warehouse in
+          let item = Option.get (Vm.load_ref ~m vm items i) in
+          let line = Vm.alloc ~m vm ~nrefs:1 ~nwords:3 in
+          Vm.store_ref ~m vm line 0 (Some item);
+          Vm.store_word ~m vm line 0 (Vm.load_word ~m vm item 1);
+          Vm.store_ref ~m vm order l (Some line);
+          total := !total + Vm.load_word ~m vm item 1;
+          (* Occasionally restock: a write to long-lived state. *)
+          if Rng.int rng 50 = 0 then
+            Vm.store_word ~m vm item 1 (100 + Rng.int rng 20)
+        done;
+        Vm.store_word ~m vm order 0 !total);
+    Vm.mutator_clock vm ~m - t0
+  in
+  (* Calibrate base service time on a warm-up plateau. *)
+  let calibrate n =
+    let total = ref 0 in
+    for i = 1 to n do
+      total := !total + run_txn ~m:(i mod handlers)
+    done;
+    !total / n
+  in
+  let base_service = max 1 (calibrate 200) in
+  let sla = float_of_int base_service *. p.sla_factor in
+  (* Ramp: at each step the inter-arrival time shrinks.  The simulator runs
+     transactions back to back; the injector's queueing behaviour is modelled
+     with a virtual single-server clock — each transaction's measured service
+     time (simulated cycles) is replayed against its Poisson arrival time,
+     giving queueing latency.  Injection rate is transactions per megacycle. *)
+  let max_jops = ref 0.0 and critical_jops = ref 0.0 in
+  let total_latency = ref 0.0 and total_txns = ref 0 in
+  let total_service = ref 0.0 in
+  for step = 1 to p.ramp_steps do
+    let interarrival = max 1 (p.base_interarrival / step) in
+    let rate = 1e6 /. float_of_int interarrival in
+    let arrival = ref 0.0 in
+    (* Multi-server queue: each handler thread has its own virtual
+       free-at; an arrival is dispatched to the earliest-free handler. *)
+    let free_at = Array.make handlers 0.0 in
+    let earliest () =
+      let best = ref 0 in
+      for h = 1 to handlers - 1 do
+        if free_at.(h) < free_at.(!best) then best := h
+      done;
+      !best
+    in
+    let step_latency = ref 0.0 in
+    for _ = 1 to p.txns_per_step do
+      arrival := !arrival +. Rng.exponential rng (float_of_int interarrival);
+      let h = earliest () in
+      let service = float_of_int (run_txn ~m:h) in
+      total_service := !total_service +. service;
+      let begin_service = Float.max !arrival free_at.(h) in
+      free_at.(h) <- begin_service +. service;
+      step_latency := !step_latency +. (free_at.(h) -. !arrival)
+    done;
+    let mean = !step_latency /. float_of_int (max 1 p.txns_per_step) in
+    total_latency := !total_latency +. !step_latency;
+    total_txns := !total_txns + p.txns_per_step;
+    if mean <= sla then critical_jops := Float.max !critical_jops rate
+  done;
+  (* max-jOPS: the measured processing capacity (transactions per megacycle
+     across the handler pool) — continuous, rather than quantised to the
+     ramp's plateau rates. *)
+  max_jops :=
+    float_of_int handlers *. 1e6
+    /. (!total_service /. float_of_int (max 1 !total_txns));
+  (* Measure the true live set: drain floating garbage first. *)
+  Vm.full_gc vm;
+  let live_end = Hcsgc_heap.Heap.used_bytes (Vm.heap vm) in
+  let allocated =
+    Hcsgc_core.Gc_stats.bytes_allocated (Vm.gc_stats vm) - allocated_baseline
+  in
+  let survival_rate =
+    Float.max 0.0 (float_of_int (live_end - live_baseline))
+    /. float_of_int (max 1 allocated)
+  in
+  Vm.remove_root vm company;
+  {
+    max_jops = !max_jops;
+    critical_jops = !critical_jops;
+    mean_latency = !total_latency /. float_of_int (max 1 !total_txns);
+    survival_rate;
+  }

@@ -1,0 +1,38 @@
+(** A SPECjbb2015-style workload (§4.7, Fig. 13): supermarket-company
+    transactions under a ramping injection rate.
+
+    The properties that made SPECjbb inconclusive for HCSGC are preserved:
+    almost nothing survives a GC cycle (the paper measures ~1 % survival),
+    there is no stable access order over long-lived data, and the injector
+    keeps raising the arrival rate, so heap usage after each GC grows over
+    the run (Fig. 13 right).  Scores follow the benchmark's shape:
+    {e max-jOPS} is the highest injection rate the system sustains at all,
+    and {e critical-jOPS} the highest rate meeting latency SLAs. *)
+
+module Vm = Hcsgc_runtime.Vm
+
+type params = {
+  warehouses : int;
+  items_per_warehouse : int;
+  handlers : int;
+      (** backend handler threads (the VM must have at least this many
+          mutators); transactions are dispatched to the earliest-free
+          handler, SPECjbb-backend style *)
+  ramp_steps : int;  (** injection-rate plateaus *)
+  txns_per_step : int;
+  base_interarrival : int;  (** mean cycles between arrivals at step 1 *)
+  lines_per_txn : int;  (** order lines (short-lived objects) per txn *)
+  sla_factor : float;  (** latency SLA as a multiple of base service time *)
+  seed : int;
+}
+
+type result = {
+  max_jops : float;  (** highest sustained injection rate (txns/Mcycle) *)
+  critical_jops : float;  (** highest rate meeting the latency SLA *)
+  mean_latency : float;  (** cycles, over the whole run *)
+  survival_rate : float;  (** fraction of allocated bytes still live at end *)
+}
+
+val default : params
+
+val run : Vm.t -> params -> result

@@ -1,0 +1,72 @@
+module Vm = Hcsgc_runtime.Vm
+module Rng = Hcsgc_util.Rng
+
+type params = {
+  elements : int;
+  element_words : int;
+  accesses_per_loop : int;
+  loops : int;
+  phases : int;
+  garbage_every : int;
+  garbage_words : int;
+  cold_elements : int;
+  seed : int;
+}
+
+type result = {
+  checksum : int;
+  accesses : int;
+}
+
+let default =
+  {
+    elements = 100_000;
+    element_words = 2;
+    accesses_per_loop = 40_000;
+    loops = 20;
+    phases = 1;
+    garbage_every = 1;
+    garbage_words = 30;
+    cold_elements = 0;
+    seed = 0;
+  }
+
+let populate vm ~slots ~words =
+  let arr = Vm.alloc vm ~nrefs:slots ~nwords:0 in
+  Vm.add_root vm arr;
+  for i = 0 to slots - 1 do
+    let o = Vm.alloc vm ~nrefs:0 ~nwords:words in
+    Vm.store_word vm o 0 i;
+    Vm.store_ref vm arr i (Some o)
+  done;
+  arr
+
+let run vm p =
+  if p.elements <= 0 || p.loops <= 0 || p.phases <= 0 then
+    invalid_arg "Synthetic.run: non-positive parameter";
+  let arr = populate vm ~slots:p.elements ~words:p.element_words in
+  (* Fig. 6's cold population: allocated up front, never accessed again. *)
+  if p.cold_elements > 0 then
+    ignore (populate vm ~slots:p.cold_elements ~words:p.element_words);
+  let checksum = ref 0 in
+  let accesses = ref 0 in
+  let loops_per_phase = max 1 (p.loops / p.phases) in
+  for phase = 0 to p.phases - 1 do
+    for _loop = 1 to loops_per_phase do
+      (* Same seed each loop within a phase: the access sequence repeats
+         exactly; a new seed per phase changes the pattern (Fig. 5). *)
+      let rng = Rng.create (p.seed + phase) in
+      for j = 1 to p.accesses_per_loop do
+        let idx = Rng.int rng p.elements in
+        (match Vm.load_ref vm arr idx with
+        | Some o ->
+            checksum := !checksum lxor (Vm.load_word vm o 0 + j)
+        | None -> assert false);
+        incr accesses;
+        if p.garbage_every > 0 && j mod p.garbage_every = 0 then
+          ignore (Vm.alloc vm ~nrefs:0 ~nwords:p.garbage_words)
+      done
+    done
+  done;
+  Vm.remove_root vm arr;
+  { checksum = !checksum; accesses = !accesses }

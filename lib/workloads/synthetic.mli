@@ -1,0 +1,34 @@
+(** The paper's synthetic micro-benchmark (§4.4).
+
+    An array of [elements] slots, each pointing to a small object; the inner
+    loop accesses random slots with a fixed seed, so every loop repeats the
+    identical access sequence (stable but unpredictable pattern); periodic
+    garbage allocation drives GC cycles.  Variants: multiple phases with
+    per-phase seeds (Fig. 5) and a never-accessed cold array that inflates
+    the cold object population (Fig. 6). *)
+
+module Vm = Hcsgc_runtime.Vm
+
+type params = {
+  elements : int;  (** live array length (paper: 2×10⁶) *)
+  element_words : int;  (** payload words per element (2 → 32-byte objects) *)
+  accesses_per_loop : int;  (** inner-loop length (paper: 8×10⁵) *)
+  loops : int;  (** outer repetitions (paper: 200) *)
+  phases : int;  (** access-pattern phases, each with its own seed (Fig. 5) *)
+  garbage_every : int;  (** accesses between garbage allocations (paper: 10) *)
+  garbage_words : int;  (** payload words of each garbage object *)
+  cold_elements : int;  (** extra never-accessed elements (Fig. 6; paper 2×10⁷) *)
+  seed : int;
+}
+
+type result = {
+  checksum : int;  (** deterministic digest of all loaded values *)
+  accesses : int;
+}
+
+val default : params
+(** Scaled-down Fig. 4 defaults (working set larger than the scaled LLC). *)
+
+val run : Vm.t -> params -> result
+(** Execute the benchmark on the given VM.  Deterministic given
+    [params.seed] and the VM configuration. *)

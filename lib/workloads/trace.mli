@@ -1,0 +1,54 @@
+(** Access-trace workloads: record a sequence of abstract heap operations
+    and replay it against any VM configuration.
+
+    This is the "bring your own access pattern" entry point: a trace is a
+    deterministic program over numbered registers, so the same trace can be
+    replayed under every Table 2 configuration to measure how HCSGC treats
+    a custom pattern — the methodology of the paper's synthetic benchmark,
+    generalised.  Traces are pure data: they can be generated (see
+    {!synthesize}), stored, pretty-printed and replayed any number of
+    times. *)
+
+module Vm = Hcsgc_runtime.Vm
+
+type op =
+  | Alloc of { reg : int; nrefs : int; nwords : int }
+      (** allocate into register [reg] (registers are trace-managed roots) *)
+  | Load of { reg : int; from_reg : int; slot : int }
+      (** [reg := from_reg.refs[slot]]; null loads leave [reg] unchanged *)
+  | Store of { to_reg : int; slot : int; from_reg : int }
+  | Store_null of { to_reg : int; slot : int }
+  | Read_word of { reg : int; word : int }
+  | Write_word of { reg : int; word : int; value : int }
+  | Drop of { reg : int }  (** forget the register's object *)
+  | Work of int  (** pure compute cycles *)
+
+type t = { registers : int; ops : op array }
+
+type result = {
+  executed : int;  (** operations replayed *)
+  checksum : int;  (** digest of every word read *)
+}
+
+val validate : t -> (unit, string) Stdlib.result
+(** Check register indices and obvious bounds are plausible. *)
+
+val replay : Vm.t -> t -> result
+(** Execute the trace.  Registers are rooted for the duration, so traces
+    never violate the rooting discipline.
+    @raise Invalid_argument on a trace that [validate] rejects. *)
+
+val synthesize :
+  rng:Hcsgc_util.Rng.t ->
+  ops:int ->
+  registers:int ->
+  ?nrefs:int ->
+  ?nwords:int ->
+  ?churn:float ->
+  unit ->
+  t
+(** Generate a random-but-deterministic trace: a mix of allocations, loads,
+    stores, word traffic and (with probability [churn], default 0.2) drops
+    and garbage allocation. *)
+
+val pp_op : Format.formatter -> op -> unit

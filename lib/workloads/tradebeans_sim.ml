@@ -1,0 +1,97 @@
+module Vm = Hcsgc_runtime.Vm
+module Rng = Hcsgc_util.Rng
+
+type params = {
+  accounts : int;
+  instruments : int;
+  orders : int;
+  quotes_per_order : int;
+  hot_accounts : int;
+  hot_bias : float;
+  seed : int;
+}
+
+type result = {
+  processed : int;
+  volume : int;
+}
+
+let default =
+  {
+    accounts = 12_000;
+    instruments = 2_000;
+    orders = 30_000;
+    quotes_per_order = 6;
+    hot_accounts = 1_200;
+    hot_bias = 0.85;
+    seed = 0;
+  }
+
+(* Account: payload = [id; balance; trades].  Instrument: [id; last_price]. *)
+
+let run vm p =
+  if p.accounts <= 0 || p.instruments <= 0 then
+    invalid_arg "Tradebeans_sim.run: bad params";
+  let rng = Rng.create p.seed in
+  let accounts_tbl = Vm.alloc vm ~nrefs:p.accounts ~nwords:0 in
+  Vm.add_root vm accounts_tbl;
+  for i = 0 to p.accounts - 1 do
+    let a = Vm.alloc vm ~nrefs:0 ~nwords:3 in
+    Vm.store_word vm a 0 i;
+    Vm.store_word vm a 1 10_000;
+    Vm.store_ref vm accounts_tbl i (Some a)
+  done;
+  let instruments_tbl = Vm.alloc vm ~nrefs:p.instruments ~nwords:0 in
+  Vm.add_root vm instruments_tbl;
+  for i = 0 to p.instruments - 1 do
+    let ins = Vm.alloc vm ~nrefs:0 ~nwords:2 in
+    Vm.store_word vm ins 0 i;
+    Vm.store_word vm ins 1 100;
+    Vm.store_ref vm instruments_tbl i (Some ins)
+  done;
+  let volume = ref 0 in
+  for _order = 1 to p.orders do
+    (* Session-bean / transaction plumbing: per-order compute that object
+       layout cannot affect (the bulk of real tradebeans time). *)
+    Vm.work vm 1_000;
+    let account_id =
+      if Rng.float rng 1.0 < p.hot_bias then Rng.int rng (max 1 p.hot_accounts)
+      else Rng.int rng p.accounts
+    in
+    let instrument_id = Rng.int rng p.instruments in
+    let account = Option.get (Vm.load_ref vm accounts_tbl account_id) in
+    let instrument = Option.get (Vm.load_ref vm instruments_tbl instrument_id) in
+    (* The short-lived cluster: an order holding quotes and a trade record.
+       All of it is dropped when the transaction commits. *)
+    Vm.local_frame vm (fun () ->
+        let order = Vm.alloc vm ~nrefs:(2 + p.quotes_per_order) ~nwords:3 in
+        Vm.push_local vm order;
+        Vm.store_ref vm order 0 (Some account);
+        Vm.store_ref vm order 1 (Some instrument);
+        for q = 0 to p.quotes_per_order - 1 do
+          let quote = Vm.alloc vm ~nrefs:0 ~nwords:3 in
+          Vm.store_word vm quote 0 (Vm.load_word vm instrument 1 + q);
+          Vm.store_ref vm order (2 + q) (Some quote)
+        done;
+        (* Pick the best quote: touch them all. *)
+        let best = ref max_int in
+        for q = 0 to p.quotes_per_order - 1 do
+          match Vm.load_ref vm order (2 + q) with
+          | Some quote ->
+              let px = Vm.load_word vm quote 0 in
+              if px < !best then best := px
+          | None -> ()
+        done;
+        let trade = Vm.alloc vm ~nrefs:2 ~nwords:2 in
+        Vm.store_ref vm trade 0 (Some account);
+        Vm.store_ref vm trade 1 (Some instrument);
+        Vm.store_word vm trade 0 !best;
+        (* Commit: update the long-lived state; the cluster becomes garbage. *)
+        Vm.store_word vm account 1 (Vm.load_word vm account 1 - !best);
+        Vm.store_word vm account 2 (Vm.load_word vm account 2 + 1);
+        Vm.store_word vm instrument 1 !best;
+        volume := !volume + !best)
+  done;
+  Vm.remove_root vm accounts_tbl;
+  Vm.remove_root vm instruments_tbl;
+  { processed = p.orders; volume = !volume }

@@ -1,0 +1,30 @@
+(** A trading-session workload standing in for DaCapo's {e tradebeans}
+    (§4.6, Fig. 11).
+
+    The paper attributes tradebeans' flat response to HCSGC to its
+    allocation profile: "so many objects are very short lived ... HCSGC may
+    only improve locality for objects that live more than one GC cycle."
+    This stand-in reproduces that profile — per-order object clusters
+    (order, quotes, trade records) that die within the transaction, over a
+    comparatively small long-lived account/instrument set. *)
+
+module Vm = Hcsgc_runtime.Vm
+
+type params = {
+  accounts : int;  (** long-lived account objects *)
+  instruments : int;  (** long-lived instrument objects *)
+  orders : int;  (** transactions to process *)
+  quotes_per_order : int;  (** short-lived quote objects per order *)
+  hot_accounts : int;  (** size of the frequently trading account set *)
+  hot_bias : float;
+  seed : int;
+}
+
+type result = {
+  processed : int;
+  volume : int;  (** deterministic aggregate for validation *)
+}
+
+val default : params
+
+val run : Vm.t -> params -> result

@@ -1,0 +1,11 @@
+(* Test entry point: one alcotest binary over every library's suite. *)
+
+let () =
+  Alcotest.run "hcsgc"
+    (Test_util.suite @ Test_memsim.suite @ Test_tlb.suite @ Test_heap.suite
+   @ Test_stats.suite
+   @ Test_core.suite @ Test_runtime.suite @ Test_multi_mutator.suite
+   @ Test_graph.suite
+   @ Test_workloads.suite @ Test_experiments.suite @ Test_collector_unit.suite
+   @ Test_autotuner.suite @ Test_gc_log.suite @ Test_lru.suite @ Test_trace.suite @ Test_misc.suite
+   @ Test_fuzz.suite)

@@ -1,0 +1,154 @@
+(* Tests for the §4.8 feedback loop: the Autotuner hill climber and its VM
+   integration. *)
+
+module Autotuner = Hcsgc_core.Autotuner
+module Vm = Hcsgc_runtime.Vm
+module Config = Hcsgc_core.Config
+module Collector = Hcsgc_core.Collector
+module Gc_stats = Hcsgc_core.Gc_stats
+module Layout = Hcsgc_heap.Layout
+module Rng = Hcsgc_util.Rng
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+let tuner_bounds_respected () =
+  let t = Autotuner.create ~initial:1.0 ~step:0.25 () in
+  (* Keep rewarding: the setting must saturate at 1.0, never exceed it. *)
+  for i = 1 to 20 do
+    Autotuner.observe t ~miss_rate:(1.0 /. float_of_int i);
+    let cc = Autotuner.cold_confidence t in
+    check Alcotest.bool "within [0,1]" true (cc >= 0.0 && cc <= 1.0)
+  done
+
+let tuner_climbs_towards_optimum () =
+  (* Objective: miss rate is minimised at cold confidence 0.8. *)
+  let t = Autotuner.create ~initial:0.1 ~step:0.25 () in
+  let objective cc = 0.1 +. Float.abs (cc -. 0.8) in
+  for _ = 1 to 40 do
+    Autotuner.observe t ~miss_rate:(objective (Autotuner.cold_confidence t))
+  done;
+  let final = Autotuner.cold_confidence t in
+  check Alcotest.bool
+    (Printf.sprintf "converged near 0.8 (got %.2f)" final)
+    true
+    (Float.abs (final -. 0.8) < 0.25)
+
+let tuner_backs_off_when_hurting () =
+  (* Objective strictly worsens as cc grows: the tuner must retreat to low
+     settings. *)
+  let t = Autotuner.create ~initial:0.9 ~step:0.25 () in
+  for _ = 1 to 40 do
+    Autotuner.observe t ~miss_rate:(0.1 +. Autotuner.cold_confidence t)
+  done;
+  check Alcotest.bool "retreats" true (Autotuner.cold_confidence t < 0.5)
+
+let tuner_ignores_garbage_input () =
+  let t = Autotuner.create () in
+  let before = Autotuner.cold_confidence t in
+  Autotuner.observe t ~miss_rate:Float.nan;
+  Autotuner.observe t ~miss_rate:(-1.0);
+  check (Alcotest.float 1e-9) "unchanged" before (Autotuner.cold_confidence t);
+  check Alcotest.int "no epochs consumed" 0 (Autotuner.epochs t)
+
+let tuner_deadband_stability () =
+  (* A flat objective within the deadband must not flip the direction. *)
+  let t = Autotuner.create ~initial:0.5 ~step:0.1 ~deadband:0.05 () in
+  for _ = 1 to 10 do
+    Autotuner.observe t ~miss_rate:0.2
+  done;
+  (* Monotone movement in one direction until clamped. *)
+  check Alcotest.bool "stable progression" true
+    (Autotuner.cold_confidence t >= 0.5)
+
+let tuner_rejects_bad_args () =
+  Alcotest.check_raises "initial out of range"
+    (Invalid_argument "Autotuner.create: initial outside [0,1]") (fun () ->
+      ignore (Autotuner.create ~initial:1.5 ()));
+  Alcotest.check_raises "zero step"
+    (Invalid_argument "Autotuner.create: step must be positive") (fun () ->
+      ignore (Autotuner.create ~step:0.0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Collector / VM integration                                          *)
+(* ------------------------------------------------------------------ *)
+
+let layout = Layout.scaled ~small_page:(16 * 1024)
+
+let collector_dynamic_cc () =
+  let vm =
+    Vm.create ~layout ~config:(Config.of_id 5) ~max_heap:(2 * 1024 * 1024) ()
+  in
+  let col = Vm.collector vm in
+  check (Alcotest.float 1e-9) "starts at configured value" 0.0
+    (Collector.cold_confidence col);
+  Collector.set_cold_confidence col 0.75;
+  check (Alcotest.float 1e-9) "retuned" 0.75 (Collector.cold_confidence col);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Collector.set_cold_confidence: outside [0,1]")
+    (fun () -> Collector.set_cold_confidence col 2.0)
+
+let collector_cc_requires_hotness () =
+  let vm = Vm.create ~layout ~config:Config.zgc ~max_heap:(1024 * 1024) () in
+  Alcotest.check_raises "requires hotness"
+    (Invalid_argument "Collector.set_cold_confidence: requires HOTNESS")
+    (fun () -> Collector.set_cold_confidence (Vm.collector vm) 0.5)
+
+let vm_autotune_requires_hotness () =
+  Alcotest.check_raises "vm rejects"
+    (Invalid_argument "Vm.create: autotuning requires a HOTNESS-enabled config")
+    (fun () ->
+      ignore
+        (Vm.create ~layout ~autotune:true ~config:Config.zgc
+           ~max_heap:(1024 * 1024) ()))
+
+let vm_autotune_runs () =
+  (* A skewed recurring workload under autotuning: the loop must consume
+     epochs and leave a valid setting. *)
+  let vm =
+    Vm.create ~layout ~autotune:true
+      ~config:(Config.make ~hotness:true ~lazy_relocate:true ())
+      ~max_heap:(2 * 1024 * 1024) ()
+  in
+  check Alcotest.bool "tuned value exposed" true
+    (Vm.autotuned_cold_confidence vm <> None);
+  let keeper = Vm.alloc vm ~nrefs:512 ~nwords:0 in
+  Vm.add_root vm keeper;
+  for i = 0 to 511 do
+    let o = Vm.alloc vm ~nrefs:0 ~nwords:2 in
+    Vm.store_ref vm keeper i (Some o)
+  done;
+  let rng = Rng.create 3 in
+  for _ = 1 to 30_000 do
+    (match Vm.load_ref vm keeper (Rng.int rng 128) with
+    | Some o -> ignore (Vm.load_word vm o 0)
+    | None -> Alcotest.fail "lost object");
+    ignore (Vm.alloc vm ~nrefs:0 ~nwords:8)
+  done;
+  Vm.finish vm;
+  check Alcotest.bool "cycles ran" true (Gc_stats.cycles (Vm.gc_stats vm) > 2);
+  match Vm.autotuned_cold_confidence vm with
+  | Some cc -> check Alcotest.bool "valid setting" true (cc >= 0.0 && cc <= 1.0)
+  | None -> Alcotest.fail "tuner missing"
+
+let vm_without_autotune_reports_none () =
+  let vm = Vm.create ~layout ~config:Config.zgc ~max_heap:(1024 * 1024) () in
+  check Alcotest.bool "no tuner" true (Vm.autotuned_cold_confidence vm = None)
+
+let suite =
+  [
+    ( "core.autotuner",
+      [
+        case "bounds respected" `Quick tuner_bounds_respected;
+        case "climbs to optimum" `Quick tuner_climbs_towards_optimum;
+        case "backs off when hurting" `Quick tuner_backs_off_when_hurting;
+        case "ignores garbage input" `Quick tuner_ignores_garbage_input;
+        case "deadband stability" `Quick tuner_deadband_stability;
+        case "rejects bad args" `Quick tuner_rejects_bad_args;
+        case "collector dynamic cc" `Quick collector_dynamic_cc;
+        case "cc requires hotness" `Quick collector_cc_requires_hotness;
+        case "vm rejects autotune w/o hotness" `Quick vm_autotune_requires_hotness;
+        case "vm autotune end-to-end" `Slow vm_autotune_runs;
+        case "no tuner by default" `Quick vm_without_autotune_reports_none;
+      ] );
+  ]

@@ -1,0 +1,135 @@
+(* Tests for the structured GC event log (the -Xlog:gc analogue). *)
+
+module Gc_log = Hcsgc_core.Gc_log
+module Vm = Hcsgc_runtime.Vm
+module Config = Hcsgc_core.Config
+module Gc_stats = Hcsgc_core.Gc_stats
+module Layout = Hcsgc_heap.Layout
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+let layout = Layout.scaled ~small_page:(16 * 1024)
+
+let recorder_ring_buffer () =
+  let r = Gc_log.recorder ~capacity:3 () in
+  for i = 1 to 5 do
+    Gc_log.listen r (Gc_log.Mark_end { cycle = i; marked_objects = i })
+  done;
+  check Alcotest.int "total counted" 5 (Gc_log.count r);
+  let cycles =
+    List.map
+      (function Gc_log.Mark_end { cycle; _ } -> cycle | _ -> -1)
+      (Gc_log.events r)
+  in
+  check (Alcotest.list Alcotest.int) "keeps the newest, in order" [ 3; 4; 5 ]
+    cycles;
+  Gc_log.clear r;
+  check Alcotest.int "cleared" 0 (Gc_log.count r);
+  check (Alcotest.list Alcotest.int) "no events" []
+    (List.map (fun _ -> 0) (Gc_log.events r))
+
+let event_rendering () =
+  let line e = Format.asprintf "%a" Gc_log.pp_event e in
+  check Alcotest.string "pause line" "[gc] GC(2) Pause Mark Start 20000c"
+    (line (Gc_log.Pause { cycle = 2; pause = Gc_log.STW1; cost = 20_000 }));
+  check Alcotest.string "ec line" "[gc] GC(1) Relocation Set: 5 small, 1 medium pages"
+    (line (Gc_log.Ec_selected { cycle = 1; small = 5; medium = 1 }))
+
+let vm_records_cycle_structure () =
+  let vm =
+    Vm.create ~layout ~gc_log:true ~config:Config.zgc
+      ~max_heap:(1024 * 1024) ()
+  in
+  for _ = 1 to 40_000 do
+    ignore (Vm.alloc vm ~nrefs:0 ~nwords:12)
+  done;
+  Vm.finish vm;
+  let r = Option.get (Vm.gc_log vm) in
+  let events = Gc_log.events r in
+  let count p = List.length (List.filter p events) in
+  let starts = count (function Gc_log.Cycle_start _ -> true | _ -> false) in
+  let ends = count (function Gc_log.Cycle_end _ -> true | _ -> false) in
+  let stw1 =
+    count (function Gc_log.Pause { pause = Gc_log.STW1; _ } -> true | _ -> false)
+  in
+  let stw3 =
+    count (function Gc_log.Pause { pause = Gc_log.STW3; _ } -> true | _ -> false)
+  in
+  let cycles = Gc_stats.cycles (Vm.gc_stats vm) in
+  check Alcotest.bool "cycles happened" true (cycles > 0);
+  check Alcotest.int "one start per cycle" cycles starts;
+  check Alcotest.int "one STW1 per cycle" cycles stw1;
+  check Alcotest.bool "three pauses per completed cycle" true (stw3 <= stw1);
+  check Alcotest.bool "ends recorded" true (ends > 0);
+  (* Event order within the first cycle: start before its STW1, STW1 before
+     mark end, mark end before EC selection. *)
+  let rec index ?(i = 0) p = function
+    | [] -> -1
+    | e :: rest -> if p e then i else index ~i:(i + 1) p rest
+  in
+  let first p = index p events in
+  check Alcotest.bool "start < stw1" true
+    (first (function Gc_log.Cycle_start { cycle = 1; _ } -> true | _ -> false)
+    < first (function
+        | Gc_log.Pause { cycle = 1; pause = Gc_log.STW1; _ } -> true
+        | _ -> false));
+  check Alcotest.bool "mark end < ec" true
+    (first (function Gc_log.Mark_end { cycle = 1; _ } -> true | _ -> false)
+    < first (function Gc_log.Ec_selected { cycle = 1; _ } -> true | _ -> false))
+
+let lazy_deferral_logged () =
+  let vm =
+    Vm.create ~layout ~gc_log:true ~config:(Config.of_id 4)
+      ~max_heap:(1024 * 1024) ()
+  in
+  let keeper = Vm.alloc vm ~nrefs:64 ~nwords:0 in
+  Vm.add_root vm keeper;
+  for i = 0 to 63 do
+    let o = Vm.alloc vm ~nrefs:0 ~nwords:2 in
+    Vm.store_ref vm keeper i (Some o)
+  done;
+  for _ = 1 to 40_000 do
+    ignore (Vm.alloc vm ~nrefs:0 ~nwords:12)
+  done;
+  Vm.finish vm;
+  let r = Option.get (Vm.gc_log vm) in
+  check Alcotest.bool "lazy deferral events present" true
+    (List.exists
+       (function Gc_log.Relocation_deferred _ -> true | _ -> false)
+       (Gc_log.events r))
+
+let page_frees_logged () =
+  let vm =
+    Vm.create ~layout ~gc_log:true ~config:Config.zgc
+      ~max_heap:(1024 * 1024) ()
+  in
+  for _ = 1 to 40_000 do
+    ignore (Vm.alloc vm ~nrefs:0 ~nwords:12)
+  done;
+  Vm.finish vm;
+  let r = Option.get (Vm.gc_log vm) in
+  let freed_events =
+    List.length
+      (List.filter
+         (function Gc_log.Page_freed _ -> true | _ -> false)
+         (Gc_log.events r))
+  in
+  check Alcotest.bool "page frees logged" true (freed_events > 0)
+
+let off_by_default () =
+  let vm = Vm.create ~layout ~config:Config.zgc ~max_heap:(1024 * 1024) () in
+  check Alcotest.bool "no recorder" true (Vm.gc_log vm = None)
+
+let suite =
+  [
+    ( "core.gc_log",
+      [
+        case "ring buffer" `Quick recorder_ring_buffer;
+        case "rendering" `Quick event_rendering;
+        case "cycle structure" `Quick vm_records_cycle_structure;
+        case "lazy deferral" `Quick lazy_deferral_logged;
+        case "page frees" `Quick page_frees_logged;
+        case "off by default" `Quick off_by_default;
+      ] );
+  ]

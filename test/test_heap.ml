@@ -1,0 +1,527 @@
+(* Tests for hcsgc.heap: coloured pointers, layout (Table 1), pages,
+   forwarding tables, page table, heap allocation. *)
+
+module Addr = Hcsgc_heap.Addr
+module Layout = Hcsgc_heap.Layout
+module Heap_obj = Hcsgc_heap.Heap_obj
+module Fwd_table = Hcsgc_heap.Fwd_table
+module Page = Hcsgc_heap.Page
+module Page_table = Hcsgc_heap.Page_table
+module Heap = Hcsgc_heap.Heap
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+let test_layout = Layout.scaled ~small_page:(64 * 1024)
+
+(* ------------------------------------------------------------------ *)
+(* Addr                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let addr_roundtrip () =
+  List.iter
+    (fun c ->
+      let p = Addr.make c 0xdeadbeef in
+      check Alcotest.int "address preserved" 0xdeadbeef (Addr.addr p);
+      check Alcotest.bool "colour preserved" true (Addr.has_color c p))
+    [ Addr.M0; Addr.M1; Addr.R ]
+
+let addr_null () =
+  check Alcotest.bool "null is null" true (Addr.is_null Addr.null);
+  check Alcotest.bool "null has no colour" false (Addr.has_color Addr.M0 Addr.null)
+
+let addr_single_color () =
+  let p = Addr.make Addr.M0 42 in
+  check Alcotest.bool "M0" true (Addr.has_color Addr.M0 p);
+  check Alcotest.bool "not M1" false (Addr.has_color Addr.M1 p);
+  check Alcotest.bool "not R" false (Addr.has_color Addr.R p)
+
+let addr_retint () =
+  let p = Addr.make Addr.M0 123 in
+  let q = Addr.retint Addr.R p in
+  check Alcotest.int "address preserved" 123 (Addr.addr q);
+  check Alcotest.bool "retinted" true (Addr.has_color Addr.R q);
+  check Alcotest.bool "old colour gone" false (Addr.has_color Addr.M0 q)
+
+let addr_mark_alternation () =
+  check Alcotest.bool "M0 -> M1" true (Addr.next_mark_color Addr.M0 = Addr.M1);
+  check Alcotest.bool "M1 -> M0" true (Addr.next_mark_color Addr.M1 = Addr.M0);
+  Alcotest.check_raises "R is not a mark colour"
+    (Invalid_argument "Addr.next_mark_color: R is not a mark colour") (fun () ->
+      ignore (Addr.next_mark_color Addr.R))
+
+let addr_rejects_zero () =
+  Alcotest.check_raises "zero address"
+    (Invalid_argument "Addr.make: address out of range") (fun () ->
+      ignore (Addr.make Addr.M0 0))
+
+let prop_addr_roundtrip =
+  QCheck.Test.make ~name:"addr: make/addr roundtrip" ~count:500
+    QCheck.(int_range 1 ((1 lsl 47) - 1))
+    (fun a ->
+      Addr.addr (Addr.make Addr.M0 a) = a
+      && Addr.addr (Addr.make Addr.R a) = a)
+
+(* ------------------------------------------------------------------ *)
+(* Layout (Table 1)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let layout_table1 () =
+  let l = Layout.paper in
+  check Alcotest.int "small page 2MB" (2 * 1024 * 1024) l.Layout.small_page;
+  check Alcotest.int "medium page 32MB" (32 * 1024 * 1024) l.Layout.medium_page;
+  check Alcotest.int "small objects up to 256KB" (256 * 1024)
+    l.Layout.small_obj_max;
+  check Alcotest.int "medium objects up to 4MB" (4 * 1024 * 1024)
+    l.Layout.medium_obj_max
+
+let layout_class_boundaries () =
+  let l = Layout.paper in
+  check Alcotest.bool "1 byte -> small" true
+    (Layout.class_of_object_size l 1 = Layout.Small);
+  check Alcotest.bool "256KB -> small" true
+    (Layout.class_of_object_size l (256 * 1024) = Layout.Small);
+  check Alcotest.bool "256KB+1 -> medium" true
+    (Layout.class_of_object_size l ((256 * 1024) + 1) = Layout.Medium);
+  check Alcotest.bool "4MB -> medium" true
+    (Layout.class_of_object_size l (4 * 1024 * 1024) = Layout.Medium);
+  check Alcotest.bool "4MB+1 -> large" true
+    (Layout.class_of_object_size l ((4 * 1024 * 1024) + 1) = Layout.Large)
+
+let layout_large_page_rounding () =
+  let l = Layout.paper in
+  let five_mb = 5 * 1024 * 1024 in
+  let page = Layout.page_bytes_for l Layout.Large five_mb in
+  check Alcotest.int "rounded to 2MB granules" (6 * 1024 * 1024) page;
+  check Alcotest.bool "multiple of granule" true (page mod Layout.granule l = 0)
+
+let layout_object_bytes () =
+  let l = Layout.paper in
+  (* 16-byte header + 2 refs + 3 words = 16 + 40 = 56 *)
+  check Alcotest.int "object size" 56 (Layout.object_bytes l ~nrefs:2 ~nwords:3)
+
+let layout_scaled_ratios () =
+  let l = test_layout in
+  check Alcotest.int "medium = 16x small" (16 * l.Layout.small_page)
+    l.Layout.medium_page;
+  check Alcotest.int "small max = small/8" (l.Layout.small_page / 8)
+    l.Layout.small_obj_max;
+  check Alcotest.int "medium max = medium/8" (l.Layout.medium_page / 8)
+    l.Layout.medium_obj_max
+
+let layout_rejects_bad_scale () =
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Layout.scaled: small page must be a power of two >= 4096")
+    (fun () -> ignore (Layout.scaled ~small_page:1024));
+  Alcotest.check_raises "not a power of two"
+    (Invalid_argument "Layout.scaled: small page must be a power of two >= 4096")
+    (fun () -> ignore (Layout.scaled ~small_page:5000))
+
+(* ------------------------------------------------------------------ *)
+(* Heap_obj                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let obj_field_addresses () =
+  let o =
+    Heap_obj.create ~layout:test_layout ~id:1 ~addr:0x1000 ~nrefs:2 ~nwords:2
+  in
+  check Alcotest.int "ref 0 after header" 0x1010
+    (Heap_obj.ref_slot_addr ~layout:test_layout o 0);
+  check Alcotest.int "ref 1" 0x1018 (Heap_obj.ref_slot_addr ~layout:test_layout o 1);
+  check Alcotest.int "payload 0 after refs" 0x1020
+    (Heap_obj.payload_addr ~layout:test_layout o 0);
+  check Alcotest.int "size" 48 o.Heap_obj.size
+
+let obj_accessors () =
+  let o =
+    Heap_obj.create ~layout:test_layout ~id:2 ~addr:0x2000 ~nrefs:1 ~nwords:1
+  in
+  check Alcotest.int "refs start null" Addr.null (Heap_obj.get_ref o 0);
+  Heap_obj.set_ref o 0 (Addr.make Addr.M0 0x3000);
+  check Alcotest.int "ref stored" 0x3000 (Addr.addr (Heap_obj.get_ref o 0));
+  Heap_obj.set_word o 0 77;
+  check Alcotest.int "word stored" 77 (Heap_obj.get_word o 0)
+
+let obj_bounds () =
+  let o =
+    Heap_obj.create ~layout:test_layout ~id:3 ~addr:0x1000 ~nrefs:1 ~nwords:1
+  in
+  Alcotest.check_raises "ref slot oob"
+    (Invalid_argument "Heap_obj.ref_slot_addr: slot out of range") (fun () ->
+      ignore (Heap_obj.ref_slot_addr ~layout:test_layout o 1));
+  Alcotest.check_raises "payload oob"
+    (Invalid_argument "Heap_obj.payload_addr: word out of range") (fun () ->
+      ignore (Heap_obj.payload_addr ~layout:test_layout o 1))
+
+(* ------------------------------------------------------------------ *)
+(* Fwd_table                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fwd_claim_semantics () =
+  let f = Fwd_table.create () in
+  check Alcotest.bool "first claim wins" true
+    (Fwd_table.claim f ~offset:64 ~new_addr:0x9000 = Fwd_table.Claimed);
+  check Alcotest.bool "second claim loses" true
+    (Fwd_table.claim f ~offset:64 ~new_addr:0xA000 = Fwd_table.Already 0x9000);
+  check (Alcotest.option Alcotest.int) "find" (Some 0x9000)
+    (Fwd_table.find f ~offset:64);
+  check (Alcotest.option Alcotest.int) "missing" None (Fwd_table.find f ~offset:0);
+  check Alcotest.int "entries" 1 (Fwd_table.entries f)
+
+(* ------------------------------------------------------------------ *)
+(* Page                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let make_page ?(birth = 0) () =
+  Page.create ~layout:test_layout ~id:0 ~cls:Layout.Small
+    ~start:(Layout.granule test_layout) ~size:test_layout.Layout.small_page
+    ~birth_cycle:birth
+
+let page_bump_alloc () =
+  let p = make_page () in
+  check (Alcotest.option Alcotest.int) "first at 0" (Some 0) (Page.bump_alloc p 64);
+  check (Alcotest.option Alcotest.int) "second at 64" (Some 64)
+    (Page.bump_alloc p 32);
+  check Alcotest.int "used" 96 (Page.used_bytes p);
+  check Alcotest.int "free" (p.Page.size - 96) (Page.free_bytes p)
+
+let page_bump_full () =
+  let p = make_page () in
+  ignore (Page.bump_alloc p (p.Page.size - 32));
+  check (Alcotest.option Alcotest.int) "fits exactly"
+    (Some (p.Page.size - 32))
+    (Page.bump_alloc p 32);
+  check (Alcotest.option Alcotest.int) "full" None (Page.bump_alloc p 8)
+
+let obj_on_page page offset =
+  let o =
+    Heap_obj.create ~layout:test_layout ~id:offset
+      ~addr:(page.Page.start + offset) ~nrefs:0 ~nwords:2
+  in
+  Page.add_object page o;
+  o
+
+let page_object_registry () =
+  let p = make_page () in
+  let o = obj_on_page p 128 in
+  check Alcotest.bool "found" true (Page.find_object p ~offset:128 = Some o);
+  Page.remove_object p o;
+  check Alcotest.bool "removed" true (Page.find_object p ~offset:128 = None)
+
+let page_liveness_accounting () =
+  let p = make_page () in
+  let o1 = obj_on_page p 0 and o2 = obj_on_page p 64 in
+  check Alcotest.bool "first marking" true (Page.mark_live p o1);
+  check Alcotest.bool "re-marking is idempotent" false (Page.mark_live p o1);
+  ignore (Page.mark_live p o2);
+  check Alcotest.int "live bytes" (o1.Heap_obj.size + o2.Heap_obj.size)
+    p.Page.live_bytes;
+  check Alcotest.int "live objects" 2 p.Page.live_objects;
+  check Alcotest.bool "is marked" true (Page.is_marked_live p o1)
+
+let page_iter_live_order () =
+  let p = make_page () in
+  let o1 = obj_on_page p 192 and o2 = obj_on_page p 0 and o3 = obj_on_page p 64 in
+  List.iter (fun o -> ignore (Page.mark_live p o)) [ o1; o2; o3 ];
+  let order = ref [] in
+  Page.iter_live p (fun o -> order := o.Heap_obj.addr :: !order);
+  check (Alcotest.list Alcotest.int) "ascending address order"
+    [ p.Page.start; p.Page.start + 64; p.Page.start + 192 ]
+    (List.rev !order)
+
+let page_hotness () =
+  let p = make_page () in
+  let o = obj_on_page p 0 in
+  ignore (Page.mark_live p o);
+  check Alcotest.bool "cold initially" false (Page.is_hot p o);
+  check Alcotest.bool "first flag" true (Page.flag_hot p o);
+  check Alcotest.bool "second flag is a no-op" false (Page.flag_hot p o);
+  check Alcotest.bool "hot" true (Page.is_hot p o);
+  check Alcotest.int "hot bytes" o.Heap_obj.size p.Page.hot_bytes;
+  check Alcotest.int "cold bytes" 0 (Page.cold_bytes p)
+
+let page_hot_epoch_flip () =
+  let p = make_page () in
+  let o = obj_on_page p 0 in
+  ignore (Page.mark_live p o);
+  ignore (Page.flag_hot p o);
+  Page.reset_mark_state p;
+  check Alcotest.bool "cold in new epoch" false (Page.is_hot p o);
+  check Alcotest.bool "hot in previous epoch" true (Page.was_hot p o);
+  check Alcotest.int "live reset" 0 p.Page.live_bytes;
+  check Alcotest.int "hot bytes reset" 0 p.Page.hot_bytes
+
+let page_wlb () =
+  let p = make_page () in
+  (* 10 live objects of 32 bytes; 4 hot. *)
+  let objs = List.init 10 (fun i -> obj_on_page p (i * 64)) in
+  List.iter (fun o -> ignore (Page.mark_live p o)) objs;
+  List.iteri (fun i o -> if i < 4 then ignore (Page.flag_hot p o)) objs;
+  let hot = 4 * 32 and cold = 6 * 32 in
+  check Alcotest.int "cc=0 degrades to live bytes" (hot + cold)
+    (Page.weighted_live_bytes p ~cold_confidence:0.0);
+  check Alcotest.int "cc=1 counts only hot bytes" hot
+    (Page.weighted_live_bytes p ~cold_confidence:1.0);
+  check Alcotest.int "cc=0.5 discounts cold" (hot + (cold / 2))
+    (Page.weighted_live_bytes p ~cold_confidence:0.5)
+
+let page_wlb_all_cold () =
+  let p = make_page () in
+  let objs = List.init 5 (fun i -> obj_on_page p (i * 64)) in
+  List.iter (fun o -> ignore (Page.mark_live p o)) objs;
+  (* hot bytes = 0: WLB is plain cold bytes regardless of confidence. *)
+  check Alcotest.int "all-cold page uses cold bytes" (5 * 32)
+    (Page.weighted_live_bytes p ~cold_confidence:1.0)
+
+let page_live_ratio () =
+  let p = make_page () in
+  let o = obj_on_page p 0 in
+  ignore (Page.mark_live p o);
+  check (Alcotest.float 1e-9) "ratio"
+    (float_of_int o.Heap_obj.size /. float_of_int p.Page.size)
+    (Page.live_ratio p)
+
+(* ------------------------------------------------------------------ *)
+(* Page_table                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let page_table_register_lookup () =
+  let pt = Page_table.create ~layout:test_layout in
+  let p = make_page () in
+  Page_table.register pt p;
+  check Alcotest.bool "start" true (Page_table.page_of_addr pt p.Page.start = Some p);
+  check Alcotest.bool "last byte" true
+    (Page_table.page_of_addr pt (p.Page.start + p.Page.size - 1) = Some p);
+  check Alcotest.bool "before" true (Page_table.page_of_addr pt 0 = None);
+  Page_table.unregister pt p;
+  check Alcotest.bool "unregistered" true
+    (Page_table.page_of_addr pt p.Page.start = None)
+
+let page_table_medium_spans_granules () =
+  let pt = Page_table.create ~layout:test_layout in
+  let p =
+    Page.create ~layout:test_layout ~id:1 ~cls:Layout.Medium
+      ~start:(4 * Layout.granule test_layout)
+      ~size:test_layout.Layout.medium_page ~birth_cycle:0
+  in
+  Page_table.register pt p;
+  (* Probe the middle granule. *)
+  let mid = p.Page.start + (8 * Layout.granule test_layout) in
+  check Alcotest.bool "middle granule mapped" true
+    (Page_table.page_of_addr pt mid = Some p)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_heap ?(max = 8 * 1024 * 1024) () =
+  Heap.create ~layout:test_layout ~max_bytes:max ()
+
+let heap_page_allocation () =
+  let h = mk_heap () in
+  match Heap.alloc_page h ~cls:Layout.Small ~bytes:0 ~birth_cycle:0 with
+  | None -> Alcotest.fail "allocation failed"
+  | Some p ->
+      check Alcotest.int "used" p.Page.size (Heap.used_bytes h);
+      check Alcotest.bool "mapped" true (Heap.page_of_addr h p.Page.start = Some p);
+      check Alcotest.int "one small page" 1 (Heap.page_count h Layout.Small)
+
+let heap_respects_max () =
+  let h = mk_heap ~max:(128 * 1024) () in
+  let p1 = Heap.alloc_page h ~cls:Layout.Small ~bytes:0 ~birth_cycle:0 in
+  let p2 = Heap.alloc_page h ~cls:Layout.Small ~bytes:0 ~birth_cycle:0 in
+  let p3 = Heap.alloc_page h ~cls:Layout.Small ~bytes:0 ~birth_cycle:0 in
+  check Alcotest.bool "two fit" true (p1 <> None && p2 <> None);
+  check Alcotest.bool "third rejected" true (p3 = None);
+  check Alcotest.bool "force overrides" true
+    (Heap.alloc_page ~force:true h ~cls:Layout.Small ~bytes:0 ~birth_cycle:0
+    <> None)
+
+let heap_free_then_recycle () =
+  let h = mk_heap () in
+  let p = Option.get (Heap.alloc_page h ~cls:Layout.Small ~bytes:0 ~birth_cycle:0) in
+  let start = p.Page.start in
+  Heap.free_page h p;
+  check Alcotest.int "memory released" 0 (Heap.used_bytes h);
+  check Alcotest.bool "unmapped" true (Heap.page_of_addr h start = None);
+  (* Address range not recycled yet: the next page gets a fresh range. *)
+  let q = Option.get (Heap.alloc_page h ~cls:Layout.Small ~bytes:0 ~birth_cycle:0) in
+  check Alcotest.bool "fresh range while quarantined" true (q.Page.start <> start);
+  Heap.recycle_range h p;
+  let r = Option.get (Heap.alloc_page h ~cls:Layout.Small ~bytes:0 ~birth_cycle:0) in
+  check Alcotest.int "recycled range reused" start r.Page.start
+
+let heap_double_free_rejected () =
+  let h = mk_heap () in
+  let p = Option.get (Heap.alloc_page h ~cls:Layout.Small ~bytes:0 ~birth_cycle:0) in
+  Heap.free_page h p;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Heap.free_page: page already freed") (fun () ->
+      Heap.free_page h p)
+
+let heap_object_allocation () =
+  let h = mk_heap () in
+  let p = Option.get (Heap.alloc_page h ~cls:Layout.Small ~bytes:0 ~birth_cycle:0) in
+  let o = Option.get (Heap.alloc_object_in h p ~nrefs:1 ~nwords:1) in
+  check Alcotest.bool "object at page start" true (o.Heap_obj.addr = p.Page.start);
+  check Alcotest.bool "obj_at finds it" true (Heap.obj_at h o.Heap_obj.addr = Some o);
+  check Alcotest.bool "obj_at misses elsewhere" true
+    (Heap.obj_at h (o.Heap_obj.addr + 8) = None)
+
+let heap_object_fills_page () =
+  let h = mk_heap () in
+  let p = Option.get (Heap.alloc_page h ~cls:Layout.Small ~bytes:0 ~birth_cycle:0) in
+  let n = ref 0 in
+  let rec fill () =
+    match Heap.alloc_object_in h p ~nrefs:0 ~nwords:2 with
+    | Some _ ->
+        incr n;
+        fill ()
+    | None -> ()
+  in
+  fill ();
+  check Alcotest.int "page capacity in 32B objects"
+    (test_layout.Layout.small_page / 32)
+    !n
+
+let heap_large_object () =
+  let h = mk_heap ~max:(32 * 1024 * 1024) () in
+  (* An object bigger than medium_obj_max must land on its own large page. *)
+  let words = (test_layout.Layout.medium_obj_max / 8) + 16 in
+  let o = Option.get (Heap.alloc_large_object h ~nrefs:0 ~nwords:words ~birth_cycle:0) in
+  let p = Option.get (Heap.page_of_addr h o.Heap_obj.addr) in
+  check Alcotest.bool "large class" true (p.Page.cls = Layout.Large);
+  check Alcotest.bool "single object page" true (p.Page.size >= o.Heap_obj.size)
+
+let heap_ids_monotone () =
+  let h = mk_heap () in
+  let p = Option.get (Heap.alloc_page h ~cls:Layout.Small ~bytes:0 ~birth_cycle:0) in
+  let a = Option.get (Heap.alloc_object_in h p ~nrefs:0 ~nwords:1) in
+  let b = Option.get (Heap.alloc_object_in h p ~nrefs:0 ~nwords:1) in
+  check Alcotest.bool "ids increase" true (b.Heap_obj.id > a.Heap_obj.id)
+
+let prop_object_bytes_aligned =
+  QCheck.Test.make ~name:"layout: object sizes word-aligned and monotone"
+    ~count:300
+    QCheck.(pair (int_bound 64) (int_bound 64))
+    (fun (nrefs, nwords) ->
+      let b = Layout.object_bytes test_layout ~nrefs ~nwords in
+      b mod 8 = 0
+      && b >= test_layout.Layout.header_bytes
+      && Layout.object_bytes test_layout ~nrefs:(nrefs + 1) ~nwords > b)
+
+let prop_addr_retint_idempotent =
+  QCheck.Test.make ~name:"addr: retint is idempotent and colour-sound"
+    ~count:300
+    QCheck.(pair (int_range 8 1_000_000) (int_bound 2))
+    (fun (a, c) ->
+      let color = match c with 0 -> Addr.M0 | 1 -> Addr.M1 | _ -> Addr.R in
+      let p = Addr.make Addr.M0 a in
+      let q = Addr.retint color p in
+      Addr.retint color q = q && Addr.color q = color && Addr.addr q = a)
+
+let prop_fwd_first_claim_wins =
+  QCheck.Test.make ~name:"fwd: first claim wins for every offset" ~count:200
+    QCheck.(small_list (pair (int_bound 100) (int_range 1 100000)))
+    (fun claims ->
+      let f = Fwd_table.create () in
+      let expected = Hashtbl.create 16 in
+      List.for_all
+        (fun (offset, addr) ->
+          match Fwd_table.claim f ~offset ~new_addr:addr with
+          | Fwd_table.Claimed ->
+              if Hashtbl.mem expected offset then false
+              else begin
+                Hashtbl.add expected offset addr;
+                true
+              end
+          | Fwd_table.Already a -> Hashtbl.find_opt expected offset = Some a)
+        claims)
+
+let prop_heap_pages_disjoint =
+  QCheck.Test.make ~name:"heap: live pages have disjoint ranges" ~count:50
+    QCheck.(small_list (int_bound 2))
+    (fun classes ->
+      let h = Heap.create ~layout:test_layout ~max_bytes:(256 * 1024 * 1024) () in
+      List.iter
+        (fun c ->
+          let cls =
+            match c with 0 -> Layout.Small | 1 -> Layout.Medium | _ -> Layout.Large
+          in
+          ignore
+            (Heap.alloc_page h ~cls ~bytes:(3 * test_layout.Layout.medium_obj_max)
+               ~birth_cycle:0))
+        classes;
+      let ranges = ref [] in
+      Heap.iter_pages h (fun p ->
+          ranges := (p.Page.start, p.Page.start + p.Page.size) :: !ranges);
+      let rec disjoint = function
+        | [] -> true
+        | (s1, e1) :: rest ->
+            List.for_all (fun (s2, e2) -> e1 <= s2 || e2 <= s1) rest
+            && disjoint rest
+      in
+      disjoint !ranges)
+
+let suite =
+  [
+    ( "heap.addr",
+      [
+        case "roundtrip" `Quick addr_roundtrip;
+        case "null" `Quick addr_null;
+        case "single colour" `Quick addr_single_color;
+        case "retint" `Quick addr_retint;
+        case "mark alternation" `Quick addr_mark_alternation;
+        case "rejects zero" `Quick addr_rejects_zero;
+        QCheck_alcotest.to_alcotest prop_addr_roundtrip;
+      ] );
+    ( "heap.layout",
+      [
+        case "Table 1 sizes" `Quick layout_table1;
+        case "class boundaries" `Quick layout_class_boundaries;
+        case "large page rounding" `Quick layout_large_page_rounding;
+        case "object bytes" `Quick layout_object_bytes;
+        case "scaled ratios" `Quick layout_scaled_ratios;
+        case "rejects bad scale" `Quick layout_rejects_bad_scale;
+      ] );
+    ( "heap.obj",
+      [
+        case "field addresses" `Quick obj_field_addresses;
+        case "accessors" `Quick obj_accessors;
+        case "bounds" `Quick obj_bounds;
+      ] );
+    ("heap.fwd", [ case "claim semantics" `Quick fwd_claim_semantics ]);
+    ( "heap.page",
+      [
+        case "bump alloc" `Quick page_bump_alloc;
+        case "bump full" `Quick page_bump_full;
+        case "object registry" `Quick page_object_registry;
+        case "liveness accounting" `Quick page_liveness_accounting;
+        case "iter_live order" `Quick page_iter_live_order;
+        case "hotness" `Quick page_hotness;
+        case "hot epoch flip" `Quick page_hot_epoch_flip;
+        case "weighted live bytes" `Quick page_wlb;
+        case "WLB all-cold page" `Quick page_wlb_all_cold;
+        case "live ratio" `Quick page_live_ratio;
+      ] );
+    ( "heap.page_table",
+      [
+        case "register/lookup" `Quick page_table_register_lookup;
+        case "medium spans granules" `Quick page_table_medium_spans_granules;
+      ] );
+    ( "heap.heap",
+      [
+        case "page allocation" `Quick heap_page_allocation;
+        case "respects max" `Quick heap_respects_max;
+        case "free then recycle" `Quick heap_free_then_recycle;
+        case "double free rejected" `Quick heap_double_free_rejected;
+        case "object allocation" `Quick heap_object_allocation;
+        case "objects fill page" `Quick heap_object_fills_page;
+        case "large object" `Quick heap_large_object;
+        case "ids monotone" `Quick heap_ids_monotone;
+        QCheck_alcotest.to_alcotest prop_heap_pages_disjoint;
+        QCheck_alcotest.to_alcotest prop_object_bytes_aligned;
+        QCheck_alcotest.to_alcotest prop_addr_retint_idempotent;
+        QCheck_alcotest.to_alcotest prop_fwd_first_claim_wins;
+      ] );
+  ]

@@ -1,0 +1,135 @@
+(* Tests for the LRU cache workload: model-based validation against an
+   OCaml reference LRU, GC-config independence, and eviction accounting. *)
+
+module Vm = Hcsgc_runtime.Vm
+module Config = Hcsgc_core.Config
+module Gc_stats = Hcsgc_core.Gc_stats
+module Layout = Hcsgc_heap.Layout
+module Lru = Hcsgc_workloads.Lru_sim
+module Rng = Hcsgc_util.Rng
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+let layout = Layout.scaled ~small_page:(16 * 1024)
+
+let mk_vm ?(config = Config.zgc) ?(max_heap = 8 * 1024 * 1024) () =
+  Vm.create ~layout ~config ~max_heap ()
+
+let small =
+  {
+    Lru.default with
+    Lru.capacity = 200;
+    buckets = 64;
+    operations = 8_000;
+    key_space = 1_000;
+    hot_keys = 100;
+  }
+
+(* OCaml reference LRU with the same key sequence. *)
+let reference p =
+  let order = Queue.create () in
+  (* key -> generation stamp; an entry is live if stamps match *)
+  let stamp = Hashtbl.create 64 in
+  let live = Hashtbl.create 64 in
+  let size = ref 0 in
+  let gets = ref 0 and hits = ref 0 and puts = ref 0 and evictions = ref 0 in
+  let gen = ref 0 in
+  let rng = Rng.create p.Lru.seed in
+  let touch key =
+    incr gen;
+    Hashtbl.replace stamp key !gen;
+    Queue.push (key, !gen) order
+  in
+  let evict () =
+    let rec go () =
+      let key, g = Queue.pop order in
+      if Hashtbl.mem live key && Hashtbl.find stamp key = g then begin
+        Hashtbl.remove live key;
+        incr evictions;
+        decr size
+      end
+      else go ()
+    in
+    go ()
+  in
+  for _ = 1 to p.Lru.operations do
+    let key =
+      if Rng.float rng 1.0 < p.Lru.hot_bias then
+        Rng.int rng (max 1 p.Lru.hot_keys) * 31 mod p.Lru.key_space
+      else Rng.int rng p.Lru.key_space
+    in
+    incr gets;
+    if Hashtbl.mem live key then begin
+      incr hits;
+      touch key
+    end
+    else begin
+      incr puts;
+      if !size >= p.Lru.capacity then evict ();
+      Hashtbl.replace live key ();
+      touch key;
+      incr size
+    end
+  done;
+  (!gets, !hits, !puts, !evictions)
+
+let matches_reference () =
+  let vm = mk_vm () in
+  let r = Lru.run vm small in
+  let gets, hits, puts, evictions = reference small in
+  check Alcotest.int "gets" gets r.Lru.gets;
+  check Alcotest.int "hits" hits r.Lru.hits;
+  check Alcotest.int "puts" puts r.Lru.puts;
+  check Alcotest.int "evictions" evictions r.Lru.evictions
+
+let config_independent () =
+  let go config =
+    let vm = mk_vm ~config () in
+    let r = Lru.run vm small in
+    (r.Lru.hits, r.Lru.evictions, r.Lru.checksum)
+  in
+  let a = go Config.zgc in
+  List.iter
+    (fun id ->
+      check
+        (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int)
+        (Printf.sprintf "identical behaviour under config %d" id)
+        a
+        (go (Config.of_id id)))
+    [ 4; 16; 18 ]
+
+let capacity_respected () =
+  let vm = mk_vm () in
+  let r = Lru.run vm { small with Lru.capacity = 50 } in
+  (* puts - evictions = final size <= capacity *)
+  check Alcotest.bool "final size within capacity" true
+    (r.Lru.puts - r.Lru.evictions <= 50)
+
+let hot_set_hits () =
+  let vm = mk_vm () in
+  let r = Lru.run vm small in
+  (* With a hot set much smaller than capacity, the hit rate must be high. *)
+  check Alcotest.bool "hot keys mostly hit" true
+    (float_of_int r.Lru.hits /. float_of_int r.Lru.gets > 0.5)
+
+let triggers_gc_under_churn () =
+  let vm = mk_vm ~max_heap:(1024 * 1024) () in
+  let r =
+    Lru.run vm
+      { small with Lru.operations = 30_000; capacity = 400; hot_bias = 0.2 }
+  in
+  check Alcotest.bool "cycles ran" true (Gc_stats.cycles (Vm.gc_stats vm) > 0);
+  check Alcotest.bool "evictions happened" true (r.Lru.evictions > 0)
+
+let suite =
+  [
+    ( "workloads.lru",
+      [
+        case "matches reference LRU" `Quick matches_reference;
+        case "config independent" `Slow config_independent;
+        case "capacity respected" `Quick capacity_respected;
+        case "hot set hits" `Quick hot_set_hits;
+        case "GC under churn" `Quick triggers_gc_under_churn;
+      ] );
+  ]

@@ -1,0 +1,282 @@
+(* Tests for hcsgc.memsim: caches, prefetcher, hierarchy, machine. *)
+
+module Cache = Hcsgc_memsim.Cache
+module Prefetcher = Hcsgc_memsim.Prefetcher
+module Hierarchy = Hcsgc_memsim.Hierarchy
+module Machine = Hcsgc_memsim.Machine
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+let small_geom = { Cache.size_bytes = 1024; ways = 2; line_bytes = 64 }
+(* 1024 / (2*64) = 8 sets *)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cache_miss_then_hit () =
+  let c = Cache.create small_geom in
+  check Alcotest.bool "first access misses" false (Cache.access c 100);
+  check Alcotest.bool "second access hits" true (Cache.access c 100)
+
+let cache_line_of_addr () =
+  let c = Cache.create small_geom in
+  check Alcotest.int "line granularity" (Cache.line_of_addr c 0)
+    (Cache.line_of_addr c 63);
+  check Alcotest.bool "next line differs" true
+    (Cache.line_of_addr c 63 <> Cache.line_of_addr c 64)
+
+let cache_lru_eviction () =
+  let c = Cache.create small_geom in
+  (* Three lines mapping to the same set (stride = 8 lines, 8 sets). *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 8);
+  (* touch 0 so 8 is LRU *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 16);
+  (* evicts 8 *)
+  check Alcotest.bool "0 survives" true (Cache.probe c 0);
+  check Alcotest.bool "8 evicted" false (Cache.probe c 8);
+  check Alcotest.bool "16 present" true (Cache.probe c 16)
+
+let cache_probe_no_side_effect () =
+  let c = Cache.create small_geom in
+  check Alcotest.bool "probe misses" false (Cache.probe c 5);
+  check Alcotest.bool "still misses on access" false (Cache.access c 5)
+
+let cache_insert () =
+  let c = Cache.create small_geom in
+  Cache.insert c 77;
+  check Alcotest.bool "insert fills" true (Cache.probe c 77)
+
+let cache_invalidate () =
+  let c = Cache.create small_geom in
+  ignore (Cache.access c 1);
+  Cache.invalidate_all c;
+  check Alcotest.bool "emptied" false (Cache.probe c 1)
+
+let cache_bad_geometry () =
+  Alcotest.check_raises "non-pow2 sets"
+    (Invalid_argument "Cache.create: geometry must yield a power-of-two set count")
+    (fun () ->
+      ignore (Cache.create { Cache.size_bytes = 960; ways = 2; line_bytes = 64 }))
+
+let cache_associativity_capacity () =
+  let c = Cache.create small_geom in
+  (* Two ways per set: both stay resident. *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 8);
+  check Alcotest.bool "way 1" true (Cache.probe c 0);
+  check Alcotest.bool "way 2" true (Cache.probe c 8)
+
+let prop_cache_hit_after_access =
+  QCheck.Test.make ~name:"cache: access makes line resident" ~count:300
+    QCheck.(small_list (int_bound 10_000))
+    (fun lines ->
+      let c = Cache.create { Cache.size_bytes = 64 * 1024; ways = 8; line_bytes = 64 } in
+      List.iter (fun l -> ignore (Cache.access c l)) lines;
+      match List.rev lines with
+      | [] -> true
+      | last :: _ -> Cache.probe c last)
+
+(* ------------------------------------------------------------------ *)
+(* Prefetcher                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prefetcher_detects_ascending_stream () =
+  let pf = Prefetcher.create ~confirm:2 ~degree:4 () in
+  ignore (Prefetcher.observe pf 100);
+  ignore (Prefetcher.observe pf 101);
+  let p = Prefetcher.observe pf 102 in
+  check (Alcotest.list Alcotest.int) "prefetch next 4" [ 103; 104; 105; 106 ] p
+
+let prefetcher_detects_descending_stream () =
+  let pf = Prefetcher.create ~confirm:2 ~degree:2 () in
+  ignore (Prefetcher.observe pf 100);
+  ignore (Prefetcher.observe pf 99);
+  let p = Prefetcher.observe pf 98 in
+  check (Alcotest.list Alcotest.int) "prefetch down" [ 97; 96 ] p
+
+let prefetcher_ignores_random () =
+  let pf = Prefetcher.create () in
+  let rng = Hcsgc_util.Rng.create 4 in
+  let fired = ref 0 in
+  for _ = 1 to 1_000 do
+    let l = Hcsgc_util.Rng.int rng 1_000_000 in
+    if Prefetcher.observe pf l <> [] then incr fired
+  done;
+  check Alcotest.bool "few spurious prefetches" true (!fired < 20)
+
+let prefetcher_tracks_interleaved_streams () =
+  let pf = Prefetcher.create ~confirm:2 ~degree:1 () in
+  (* Two interleaved ascending streams. *)
+  ignore (Prefetcher.observe pf 1000);
+  ignore (Prefetcher.observe pf 5000);
+  ignore (Prefetcher.observe pf 1001);
+  ignore (Prefetcher.observe pf 5001);
+  let a = Prefetcher.observe pf 1002 in
+  let b = Prefetcher.observe pf 5002 in
+  check (Alcotest.list Alcotest.int) "stream A" [ 1003 ] a;
+  check (Alcotest.list Alcotest.int) "stream B" [ 5003 ] b
+
+let prefetcher_reset () =
+  let pf = Prefetcher.create ~confirm:2 ~degree:1 () in
+  ignore (Prefetcher.observe pf 10);
+  ignore (Prefetcher.observe pf 11);
+  Prefetcher.reset pf;
+  check (Alcotest.list Alcotest.int) "no stream after reset" []
+    (Prefetcher.observe pf 12)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let no_prefetch_config =
+  { Hierarchy.default_config with Hierarchy.prefetch = false }
+
+let hierarchy_latencies () =
+  let h = Hierarchy.create no_prefetch_config in
+  let lat1 = Hierarchy.load h 4096 in
+  check Alcotest.int "cold load pays memory latency" 200 lat1;
+  let lat2 = Hierarchy.load h 4096 in
+  check Alcotest.int "warm load pays L1 latency" 4 lat2
+
+let hierarchy_counters () =
+  let h = Hierarchy.create no_prefetch_config in
+  ignore (Hierarchy.load h 0);
+  ignore (Hierarchy.load h 0);
+  ignore (Hierarchy.store h 64);
+  let c = Hierarchy.counters h in
+  check Alcotest.int "loads" 2 c.Hierarchy.loads;
+  check Alcotest.int "stores" 1 c.Hierarchy.stores;
+  check Alcotest.int "l1 misses" 1 c.Hierarchy.l1_misses;
+  check Alcotest.int "llc misses" 1 c.Hierarchy.llc_misses
+
+let hierarchy_l2_hit () =
+  let h = Hierarchy.create no_prefetch_config in
+  ignore (Hierarchy.load h 0);
+  (* Evict from L1 (32KB, 8 ways, 64 sets): 8 conflicting lines at stride
+     64*64 bytes. *)
+  for i = 1 to 8 do
+    ignore (Hierarchy.load h (i * 64 * 64))
+  done;
+  let lat = Hierarchy.load h 0 in
+  check Alcotest.int "L2 hit latency" 12 lat
+
+let hierarchy_store_fills () =
+  let h = Hierarchy.create no_prefetch_config in
+  let lat_store = Hierarchy.store h 128 in
+  check Alcotest.int "store is write-buffered" 2 lat_store;
+  check Alcotest.int "subsequent load hits L1" 4 (Hierarchy.load h 128)
+
+let hierarchy_range () =
+  let h = Hierarchy.create no_prefetch_config in
+  (* 3 lines: 200 + 200 + 200 *)
+  let lat = Hierarchy.load_range h 0 192 in
+  check Alcotest.int "range latency" 600 lat;
+  let c = Hierarchy.counters h in
+  check Alcotest.int "range loads" 3 c.Hierarchy.loads
+
+let hierarchy_range_partial_lines () =
+  let h = Hierarchy.create no_prefetch_config in
+  (* 32 bytes starting at 48 spans two lines. *)
+  ignore (Hierarchy.load_range h 48 32);
+  let c = Hierarchy.counters h in
+  check Alcotest.int "two lines touched" 2 c.Hierarchy.loads
+
+let hierarchy_prefetch_hides_stream () =
+  let h = Hierarchy.create Hierarchy.default_config in
+  (* Sequential walk: after the stream is confirmed, loads hit L1. *)
+  let total_cold = ref 0 in
+  for i = 0 to 63 do
+    total_cold := !total_cold + Hierarchy.load h (i * 64)
+  done;
+  let c = Hierarchy.counters h in
+  check Alcotest.bool "prefetches issued" true (c.Hierarchy.prefetches > 0);
+  check Alcotest.bool "misses far below line count" true
+    (c.Hierarchy.l1_misses < 16)
+
+let hierarchy_flush () =
+  let h = Hierarchy.create no_prefetch_config in
+  ignore (Hierarchy.load h 0);
+  Hierarchy.flush h;
+  let c = Hierarchy.counters h in
+  check Alcotest.int "counters zero" 0 c.Hierarchy.loads;
+  check Alcotest.int "cold again" 200 (Hierarchy.load h 0)
+
+(* ------------------------------------------------------------------ *)
+(* Machine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let machine_cfg = { Hierarchy.default_config with Hierarchy.prefetch = false }
+
+let machine_private_l1 () =
+  let m = Machine.create ~cfg:machine_cfg ~cores:2 () in
+  ignore (Machine.load m ~core:0 0);
+  (* Core 1 misses its private L1/L2 but hits the shared LLC. *)
+  let lat = Machine.load m ~core:1 0 in
+  check Alcotest.int "core 1 hits shared LLC" 40 lat
+
+let machine_shared_llc_counts () =
+  let m = Machine.create ~cfg:machine_cfg ~cores:2 () in
+  ignore (Machine.load m ~core:0 0);
+  ignore (Machine.load m ~core:1 0);
+  let c = Machine.counters m in
+  check Alcotest.int "machine-wide loads" 2 c.Hierarchy.loads;
+  check Alcotest.int "two L1 misses" 2 c.Hierarchy.l1_misses;
+  check Alcotest.int "one LLC miss" 1 c.Hierarchy.llc_misses
+
+let machine_core_bounds () =
+  let m = Machine.create ~cores:1 () in
+  Alcotest.check_raises "bad core"
+    (Invalid_argument "Machine: core index out of range") (fun () ->
+      ignore (Machine.load m ~core:1 0))
+
+let machine_flush () =
+  let m = Machine.create ~cfg:machine_cfg ~cores:2 () in
+  ignore (Machine.load m ~core:0 0);
+  Machine.flush m;
+  check Alcotest.int "cold after flush" 200 (Machine.load m ~core:0 0)
+
+let suite =
+  [
+    ( "memsim.cache",
+      [
+        case "miss then hit" `Quick cache_miss_then_hit;
+        case "line granularity" `Quick cache_line_of_addr;
+        case "LRU eviction" `Quick cache_lru_eviction;
+        case "probe has no side effect" `Quick cache_probe_no_side_effect;
+        case "insert" `Quick cache_insert;
+        case "invalidate" `Quick cache_invalidate;
+        case "bad geometry rejected" `Quick cache_bad_geometry;
+        case "associativity" `Quick cache_associativity_capacity;
+        QCheck_alcotest.to_alcotest prop_cache_hit_after_access;
+      ] );
+    ( "memsim.prefetcher",
+      [
+        case "ascending stream" `Quick prefetcher_detects_ascending_stream;
+        case "descending stream" `Quick prefetcher_detects_descending_stream;
+        case "random traffic" `Quick prefetcher_ignores_random;
+        case "interleaved streams" `Quick prefetcher_tracks_interleaved_streams;
+        case "reset" `Quick prefetcher_reset;
+      ] );
+    ( "memsim.hierarchy",
+      [
+        case "latency ladder" `Quick hierarchy_latencies;
+        case "counters" `Quick hierarchy_counters;
+        case "L2 hit" `Quick hierarchy_l2_hit;
+        case "stores fill and are buffered" `Quick hierarchy_store_fills;
+        case "range load" `Quick hierarchy_range;
+        case "range spans lines" `Quick hierarchy_range_partial_lines;
+        case "prefetch hides streams" `Quick hierarchy_prefetch_hides_stream;
+        case "flush" `Quick hierarchy_flush;
+      ] );
+    ( "memsim.machine",
+      [
+        case "private L1, shared LLC" `Quick machine_private_l1;
+        case "machine-wide counters" `Quick machine_shared_llc_counts;
+        case "core bounds" `Quick machine_core_bounds;
+        case "flush" `Quick machine_flush;
+      ] );
+  ]

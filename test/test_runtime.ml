@@ -1,0 +1,184 @@
+(* Tests for hcsgc.runtime: the VM API, cost accounting, determinism,
+   locals/rooting, saturated mode. *)
+
+module Vm = Hcsgc_runtime.Vm
+module Config = Hcsgc_core.Config
+module Collector = Hcsgc_core.Collector
+module Gc_stats = Hcsgc_core.Gc_stats
+module Layout = Hcsgc_heap.Layout
+module H = Hcsgc_memsim.Hierarchy
+module Rng = Hcsgc_util.Rng
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+let layout = Layout.scaled ~small_page:(16 * 1024)
+
+let mk_vm ?(config = Config.zgc) ?(saturated = false)
+    ?(max_heap = 4 * 1024 * 1024) () =
+  Vm.create ~layout ~config ~saturated ~max_heap ()
+
+let alloc_and_fields () =
+  let vm = mk_vm () in
+  let o = Vm.alloc vm ~nrefs:2 ~nwords:2 in
+  check Alcotest.bool "refs start null" true (Vm.load_ref vm o 0 = None);
+  check Alcotest.int "words start zero" 0 (Vm.load_word vm o 0);
+  Vm.store_word vm o 1 42;
+  check Alcotest.int "word roundtrip" 42 (Vm.load_word vm o 1);
+  let p = Vm.alloc vm ~nrefs:0 ~nwords:1 in
+  Vm.store_ref vm o 0 (Some p);
+  (match Vm.load_ref vm o 0 with
+  | Some q -> check Alcotest.bool "ref roundtrip" true (q == p)
+  | None -> Alcotest.fail "ref lost");
+  Vm.store_ref vm o 0 None;
+  check Alcotest.bool "null store" true (Vm.load_ref vm o 0 = None)
+
+let costs_accumulate () =
+  let vm = mk_vm () in
+  let o = Vm.alloc vm ~nrefs:1 ~nwords:1 in
+  let w0 = Vm.wall_cycles vm in
+  ignore (Vm.load_word vm o 0);
+  check Alcotest.bool "loads cost cycles" true (Vm.wall_cycles vm > w0);
+  let ops0 = Vm.ops vm in
+  Vm.touch vm o;
+  check Alcotest.int "ops counted" (ops0 + 1) (Vm.ops vm)
+
+let work_charges_compute () =
+  let vm = mk_vm () in
+  let w0 = Vm.mutator_cycles vm in
+  Vm.work vm 12_345;
+  check Alcotest.int "work charged" (w0 + 12_345) (Vm.mutator_cycles vm)
+
+let counters_track_loads () =
+  let vm = mk_vm () in
+  let o = Vm.alloc vm ~nrefs:0 ~nwords:1 in
+  let c0 = (Vm.counters vm).H.loads in
+  ignore (Vm.load_word vm o 0);
+  check Alcotest.bool "load counted" true ((Vm.counters vm).H.loads > c0)
+
+let determinism_across_runs () =
+  (* The whole simulation is a pure function of (config, seed): two fresh
+     VMs running the same program report identical wall cycles, counters and
+     GC stats. *)
+  let run () =
+    let vm = mk_vm ~config:(Config.of_id 16) () in
+    let keeper = Vm.alloc vm ~nrefs:256 ~nwords:0 in
+    Vm.add_root vm keeper;
+    let rng = Rng.create 11 in
+    for i = 0 to 255 do
+      let o = Vm.alloc vm ~nrefs:0 ~nwords:2 in
+      Vm.store_ref vm keeper i (Some o)
+    done;
+    for _ = 1 to 20_000 do
+      let i = Rng.int rng 256 in
+      (match Vm.load_ref vm keeper i with
+      | Some o -> ignore (Vm.load_word vm o 0)
+      | None -> Alcotest.fail "lost");
+      ignore (Vm.alloc vm ~nrefs:0 ~nwords:8)
+    done;
+    Vm.finish vm;
+    ( Vm.wall_cycles vm,
+      (Vm.counters vm).H.loads,
+      (Vm.counters vm).H.l1_misses,
+      Gc_stats.cycles (Vm.gc_stats vm) )
+  in
+  let a = run () and b = run () in
+  check
+    (Alcotest.pair
+       (Alcotest.pair Alcotest.int Alcotest.int)
+       (Alcotest.pair Alcotest.int Alcotest.int))
+    "bit-identical runs"
+    (let w, l, m, c = a in
+     ((w, l), (m, c)))
+    (let w, l, m, c = b in
+     ((w, l), (m, c)))
+
+let saturated_charges_gc_to_wall () =
+  let run saturated =
+    let vm = mk_vm ~saturated () in
+    let keeper = Vm.alloc vm ~nrefs:128 ~nwords:0 in
+    Vm.add_root vm keeper;
+    for i = 0 to 127 do
+      let o = Vm.alloc vm ~nrefs:0 ~nwords:2 in
+      Vm.store_ref vm keeper i (Some o)
+    done;
+    for _ = 1 to 40_000 do
+      ignore (Vm.alloc vm ~nrefs:0 ~nwords:8)
+    done;
+    Vm.finish vm;
+    vm
+  in
+  let unsat = run false and sat = run true in
+  check Alcotest.bool "GC work happened" true (Vm.gc_cycles unsat > 0);
+  check Alcotest.int "saturated wall includes GC"
+    (Vm.mutator_cycles sat + Vm.stw_cycles sat + Vm.gc_cycles sat)
+    (Vm.wall_cycles sat);
+  check Alcotest.int "unsaturated wall hides concurrent GC"
+    (Vm.mutator_cycles unsat + Vm.stw_cycles unsat)
+    (Vm.wall_cycles unsat)
+
+let locals_protect_unrooted () =
+  let vm = mk_vm () in
+  (* An object held only in an OCaml variable, protected by a local frame,
+     must survive cycles triggered inside the frame. *)
+  Vm.local_frame vm (fun () ->
+      let o = Vm.alloc vm ~nrefs:0 ~nwords:1 in
+      Vm.push_local vm o;
+      Vm.store_word vm o 0 7;
+      for _ = 1 to 30_000 do
+        ignore (Vm.alloc vm ~nrefs:0 ~nwords:8)
+      done;
+      check Alcotest.int "local survived GC" 7 (Vm.load_word vm o 0))
+
+let with_local_scopes () =
+  let vm = mk_vm () in
+  let o = Vm.alloc vm ~nrefs:0 ~nwords:1 in
+  let r = Vm.with_local vm o (fun () -> Vm.load_word vm o 0) in
+  check Alcotest.int "with_local runs body" 0 r
+
+let remove_root_allows_reclaim () =
+  let vm = mk_vm () in
+  let keeper = Vm.alloc vm ~nrefs:1 ~nwords:0 in
+  Vm.add_root vm keeper;
+  Vm.remove_root vm keeper;
+  (* After removal the page population can be reclaimed; we only require
+     that cycles still run cleanly. *)
+  for _ = 1 to 30_000 do
+    ignore (Vm.alloc vm ~nrefs:0 ~nwords:8)
+  done;
+  Vm.finish vm;
+  check Alcotest.bool "cycles ran" true (Gc_stats.cycles (Vm.gc_stats vm) > 0)
+
+let config_accessor () =
+  let c = Config.of_id 9 in
+  let vm = mk_vm ~config:c () in
+  check Alcotest.bool "config preserved" true (Config.equal c (Vm.config vm))
+
+let mutator_counters_subset () =
+  let vm = mk_vm () in
+  let o = Vm.alloc vm ~nrefs:0 ~nwords:1 in
+  for _ = 1 to 100 do
+    ignore (Vm.load_word vm o 0)
+  done;
+  let all = Vm.counters vm and mut = Vm.mutator_counters vm in
+  check Alcotest.bool "mutator loads <= total" true (mut.H.loads <= all.H.loads);
+  check Alcotest.bool "mutator misses <= total" true
+    (mut.H.l1_misses <= all.H.l1_misses)
+
+let suite =
+  [
+    ( "runtime.vm",
+      [
+        case "alloc and field access" `Quick alloc_and_fields;
+        case "costs accumulate" `Quick costs_accumulate;
+        case "work charges compute" `Quick work_charges_compute;
+        case "counters track loads" `Quick counters_track_loads;
+        case "determinism" `Slow determinism_across_runs;
+        case "saturated accounting" `Slow saturated_charges_gc_to_wall;
+        case "locals protect unrooted" `Quick locals_protect_unrooted;
+        case "with_local" `Quick with_local_scopes;
+        case "remove_root" `Quick remove_root_allows_reclaim;
+        case "config accessor" `Quick config_accessor;
+        case "mutator counters subset" `Quick mutator_counters_subset;
+      ] );
+  ]

@@ -1,0 +1,134 @@
+(* Tests for hcsgc.stats: descriptive statistics, bootstrap, rendering. *)
+
+module D = Hcsgc_stats.Descriptive
+module B = Hcsgc_stats.Bootstrap
+module R = Hcsgc_stats.Render
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+let approx = Alcotest.float 1e-9
+
+let mean_median () =
+  check approx "mean" 2.5 (D.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check approx "median even" 2.5 (D.median [| 1.0; 2.0; 3.0; 4.0 |]);
+  check approx "median odd" 2.0 (D.median [| 3.0; 1.0; 2.0 |]);
+  check approx "singleton" 7.0 (D.median [| 7.0 |])
+
+let quantiles () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check approx "q0" 1.0 (D.quantile xs 0.0);
+  check approx "q1" 2.0 (D.quantile xs 0.25);
+  check approx "q3" 4.0 (D.quantile xs 0.75);
+  check approx "q100" 5.0 (D.quantile xs 1.0);
+  check approx "interpolated" 1.5 (D.quantile [| 1.0; 2.0 |] 0.5)
+
+let empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Descriptive: empty sample")
+    (fun () -> ignore (D.mean [||]))
+
+let stddev_cases () =
+  check approx "constant" 0.0 (D.stddev [| 5.0; 5.0; 5.0 |]);
+  check approx "short" 0.0 (D.stddev [| 5.0 |]);
+  check approx "known" (sqrt 2.5) (D.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let boxplot_quartiles () =
+  let b = D.boxplot [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0 |] in
+  check approx "median" 4.5 b.D.median;
+  check Alcotest.bool "q1 < median < q3" true (b.D.q1 < b.D.median && b.D.median < b.D.q3);
+  check (Alcotest.list approx) "no outliers" [] b.D.mild_outliers
+
+let boxplot_outliers () =
+  (* A cluster plus one mild and one extreme outlier. *)
+  let xs = [| 10.0; 11.0; 12.0; 13.0; 14.0; 10.5; 11.5; 12.5; 19.5; 40.0 |] in
+  let b = D.boxplot xs in
+  check Alcotest.int "one mild" 1 (List.length b.D.mild_outliers);
+  check Alcotest.int "one extreme" 1 (List.length b.D.extreme_outliers);
+  check Alcotest.bool "whiskers inside fences" true
+    (b.D.whisker_hi < 19.5 && b.D.whisker_lo >= 10.0)
+
+let prop_boxplot_ordering =
+  QCheck.Test.make ~name:"boxplot: q1 <= median <= q3, whiskers bracket"
+    ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 40) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let b = D.boxplot arr in
+      b.D.q1 <= b.D.median +. 1e-9
+      && b.D.median <= b.D.q3 +. 1e-9
+      && b.D.whisker_lo <= b.D.whisker_hi +. 1e-9)
+
+let bootstrap_deterministic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let a = B.estimate ~seed:7 xs and b = B.estimate ~seed:7 xs in
+  check approx "same mean" a.B.mean b.B.mean;
+  check approx "same lo" a.B.ci_lo b.B.ci_lo
+
+let bootstrap_centering () =
+  let xs = Array.init 30 (fun i -> 100.0 +. float_of_int (i mod 5)) in
+  let e = B.estimate ~seed:3 xs in
+  check Alcotest.bool "mean near sample mean" true (Float.abs (e.B.mean -. D.mean xs) < 0.5);
+  check Alcotest.bool "CI brackets mean" true (e.B.ci_lo <= e.B.mean && e.B.mean <= e.B.ci_hi)
+
+let bootstrap_constant_sample () =
+  let e = B.estimate ~seed:1 [| 4.2; 4.2; 4.2 |] in
+  check approx "degenerate CI lo" 4.2 e.B.ci_lo;
+  check approx "degenerate CI hi" 4.2 e.B.ci_hi
+
+let bootstrap_overlap () =
+  let a = B.estimate ~seed:1 [| 1.0; 1.1; 0.9; 1.05 |] in
+  let b = B.estimate ~seed:2 [| 5.0; 5.1; 4.9; 5.05 |] in
+  check Alcotest.bool "distant samples do not overlap" false (B.overlaps a b);
+  check Alcotest.bool "self overlap" true (B.overlaps a a)
+
+let bootstrap_relative () =
+  let base = B.estimate ~seed:1 [| 100.0; 100.0 |] in
+  let e = B.estimate ~seed:1 [| 90.0; 90.0 |] in
+  check approx "10% speedup" (-0.1) (B.relative_to ~baseline:base e)
+
+let bootstrap_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Bootstrap.estimate: empty sample")
+    (fun () -> ignore (B.estimate ~seed:1 [||]))
+
+let render_table () =
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  R.table fmt ~headers:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333" ] ];
+  Format.pp_print_flush fmt ();
+  let s = Buffer.contents buf in
+  check Alcotest.bool "contains header" true
+    (String.length s > 0 && String.sub s 0 1 = "a");
+  check Alcotest.bool "padded row" true
+    (List.exists (fun line -> String.length line >= 3)
+       (String.split_on_char '\n' s))
+
+let render_pct_si () =
+  check Alcotest.string "pct" "+12.50%" (R.pct 0.125);
+  check Alcotest.string "neg pct" "-30.00%" (R.pct (-0.3));
+  check Alcotest.string "si k" "1.50k" (R.si 1500.0);
+  check Alcotest.string "si M" "2.00M" (R.si 2_000_000.0);
+  check Alcotest.string "si unit" "999" (R.si 999.0)
+
+let suite =
+  [
+    ( "stats.descriptive",
+      [
+        case "mean/median" `Quick mean_median;
+        case "quantiles" `Quick quantiles;
+        case "empty rejected" `Quick empty_rejected;
+        case "stddev" `Quick stddev_cases;
+        case "boxplot quartiles" `Quick boxplot_quartiles;
+        case "boxplot outliers" `Quick boxplot_outliers;
+        QCheck_alcotest.to_alcotest prop_boxplot_ordering;
+      ] );
+    ( "stats.bootstrap",
+      [
+        case "deterministic" `Quick bootstrap_deterministic;
+        case "centering" `Quick bootstrap_centering;
+        case "constant sample" `Quick bootstrap_constant_sample;
+        case "overlap" `Quick bootstrap_overlap;
+        case "relative delta" `Quick bootstrap_relative;
+        case "rejects empty" `Quick bootstrap_rejects;
+      ] );
+    ( "stats.render",
+      [ case "table" `Quick render_table; case "pct/si" `Quick render_pct_si ] );
+  ]

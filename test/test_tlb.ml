@@ -1,0 +1,103 @@
+(* Tests for the dTLB model. *)
+
+module Hierarchy = Hcsgc_memsim.Hierarchy
+module Machine = Hcsgc_memsim.Machine
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+let tlb_cfg =
+  { Hierarchy.default_config with Hierarchy.tlb = true; prefetch = false }
+
+let disabled_by_default () =
+  let m = Machine.create ~cores:1 () in
+  for i = 0 to 999 do
+    ignore (Machine.load m ~core:0 (i * 4096))
+  done;
+  check Alcotest.int "no misses when disabled" 0 (Machine.tlb_misses m)
+
+let first_touch_misses () =
+  let m = Machine.create ~cfg:tlb_cfg ~cores:1 () in
+  ignore (Machine.load m ~core:0 0);
+  check Alcotest.int "cold page misses" 1 (Machine.tlb_misses m);
+  ignore (Machine.load m ~core:0 64);
+  check Alcotest.int "same page hits" 1 (Machine.tlb_misses m);
+  ignore (Machine.load m ~core:0 4096);
+  check Alcotest.int "next page misses" 2 (Machine.tlb_misses m)
+
+let walk_latency_charged () =
+  let m = Machine.create ~cfg:tlb_cfg ~cores:1 () in
+  let cold = Machine.load m ~core:0 (1 lsl 20) in
+  (* memory miss (200) + walk (25) *)
+  check Alcotest.int "cold load includes walk" 225 cold;
+  let warm = Machine.load m ~core:0 (1 lsl 20) in
+  check Alcotest.int "warm load has no walk" 4 warm
+
+let capacity_eviction () =
+  let m = Machine.create ~cfg:tlb_cfg ~cores:1 () in
+  (* Touch 128 pages (twice the 64-entry capacity), then re-touch page 0:
+     it must have been evicted. *)
+  for p = 0 to 127 do
+    ignore (Machine.load m ~core:0 (p * 4096))
+  done;
+  let before = Machine.tlb_misses m in
+  ignore (Machine.load m ~core:0 0);
+  check Alcotest.int "page 0 re-walks" (before + 1) (Machine.tlb_misses m)
+
+let dense_layout_fewer_walks () =
+  (* The page-locality claim: the same 256 objects packed on few pages
+     cause far fewer TLB misses than spread across many. *)
+  let walks stride =
+    let m = Machine.create ~cfg:tlb_cfg ~cores:1 () in
+    for rounds = 1 to 4 do
+      ignore rounds;
+      for i = 0 to 255 do
+        ignore (Machine.load m ~core:0 (i * stride))
+      done
+    done;
+    Machine.tlb_misses m
+  in
+  let packed = walks 64 (* 256 objects on 4 pages *) in
+  let sparse = walks 8192 (* one object every other page *) in
+  check Alcotest.bool
+    (Printf.sprintf "packed %d < sparse %d" packed sparse)
+    true (packed * 8 < sparse)
+
+let per_core_attribution () =
+  let m = Machine.create ~cfg:tlb_cfg ~cores:2 () in
+  ignore (Machine.load m ~core:0 0);
+  ignore (Machine.load m ~core:1 0);
+  (* Separate TLBs per core: both miss. *)
+  check Alcotest.int "machine total" 2 (Machine.tlb_misses m);
+  check Alcotest.int "core 0" 1 (Machine.core_tlb_misses m ~core:0);
+  check Alcotest.int "core 1" 1 (Machine.core_tlb_misses m ~core:1)
+
+let stores_also_translate () =
+  let m = Machine.create ~cfg:tlb_cfg ~cores:1 () in
+  ignore (Machine.store m ~core:0 8192);
+  check Alcotest.int "store walked" 1 (Machine.tlb_misses m);
+  ignore (Machine.load m ~core:0 8192);
+  check Alcotest.int "load after store hits TLB" 1 (Machine.tlb_misses m)
+
+let flush_resets () =
+  let m = Machine.create ~cfg:tlb_cfg ~cores:1 () in
+  ignore (Machine.load m ~core:0 0);
+  Machine.flush m;
+  check Alcotest.int "counter reset" 0 (Machine.tlb_misses m);
+  ignore (Machine.load m ~core:0 0);
+  check Alcotest.int "cold again" 1 (Machine.tlb_misses m)
+
+let suite =
+  [
+    ( "memsim.tlb",
+      [
+        case "disabled by default" `Quick disabled_by_default;
+        case "first touch misses" `Quick first_touch_misses;
+        case "walk latency" `Quick walk_latency_charged;
+        case "capacity eviction" `Quick capacity_eviction;
+        case "dense layout fewer walks" `Quick dense_layout_fewer_walks;
+        case "per-core attribution" `Quick per_core_attribution;
+        case "stores translate" `Quick stores_also_translate;
+        case "flush resets" `Quick flush_resets;
+      ] );
+  ]

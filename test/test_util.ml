@@ -1,0 +1,295 @@
+(* Tests for hcsgc.util: PRNG, bitmaps, growable vectors. *)
+
+module Rng = Hcsgc_util.Rng
+module Bitmap = Hcsgc_util.Bitmap
+module Vec = Hcsgc_util.Vec
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Rng.next a <> Rng.next b then differs := true
+  done;
+  check Alcotest.bool "different seeds diverge" true !differs
+
+let rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    check Alcotest.bool "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let rng_int_in () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in rng (-5) 5 in
+    check Alcotest.bool "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let rng_float_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    check Alcotest.bool "0 <= v < 2.5" true (v >= 0.0 && v < 2.5)
+  done
+
+let rng_copy_independent () =
+  let a = Rng.create 9 in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  check Alcotest.int "copy continues identically" (Rng.next a) (Rng.next b);
+  ignore (Rng.next a);
+  (* advancing one does not advance the other *)
+  let va = Rng.next a and vb = Rng.next b in
+  check Alcotest.bool "streams now offset" true (va <> vb || Rng.next a <> vb)
+
+let rng_split_diverges () =
+  let a = Rng.create 13 in
+  let b = Rng.split a in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Rng.next a <> Rng.next b then differs := true
+  done;
+  check Alcotest.bool "split stream differs from parent" true !differs
+
+let rng_uniformity_rough () =
+  (* Chi-square-ish sanity: 10 buckets over 100k draws should each hold
+     within 20% of the expected count. *)
+  let rng = Rng.create 1234 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check Alcotest.bool "bucket within 20% of mean" true
+        (abs (c - (n / 10)) < n / 50))
+    buckets
+
+let rng_shuffle_is_permutation () =
+  let rng = Rng.create 99 in
+  let arr = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation"
+    (Array.init 100 (fun i -> i))
+    sorted
+
+let rng_exponential_positive () =
+  let rng = Rng.create 21 in
+  for _ = 1 to 1_000 do
+    check Alcotest.bool "exponential >= 0" true (Rng.exponential rng 5.0 >= 0.0)
+  done
+
+let rng_exponential_mean () =
+  let rng = Rng.create 22 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng 3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "mean close to 3.0" true (Float.abs (mean -. 3.0) < 0.15)
+
+let rng_invalid_bound () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+(* ------------------------------------------------------------------ *)
+(* Bitmap                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bitmap_basic () =
+  let b = Bitmap.create 100 in
+  check Alcotest.int "length" 100 (Bitmap.length b);
+  check Alcotest.bool "initially clear" false (Bitmap.get b 42);
+  Bitmap.set b 42;
+  check Alcotest.bool "set" true (Bitmap.get b 42);
+  Bitmap.clear b 42;
+  check Alcotest.bool "cleared" false (Bitmap.get b 42)
+
+let bitmap_test_and_set () =
+  let b = Bitmap.create 8 in
+  check Alcotest.bool "first returns false" false (Bitmap.test_and_set b 3);
+  check Alcotest.bool "second returns true" true (Bitmap.test_and_set b 3)
+
+let bitmap_reset () =
+  let b = Bitmap.create 64 in
+  for i = 0 to 63 do
+    Bitmap.set b i
+  done;
+  check Alcotest.int "all set" 64 (Bitmap.pop_count b);
+  Bitmap.reset b;
+  check Alcotest.int "all clear" 0 (Bitmap.pop_count b)
+
+let bitmap_iter_ascending () =
+  let b = Bitmap.create 200 in
+  List.iter (Bitmap.set b) [ 5; 190; 64; 7; 100 ];
+  let seen = ref [] in
+  Bitmap.iter_set b (fun i -> seen := i :: !seen);
+  check
+    (Alcotest.list Alcotest.int)
+    "ascending order" [ 5; 7; 64; 100; 190 ] (List.rev !seen)
+
+let bitmap_bounds () =
+  let b = Bitmap.create 10 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitmap: index out of range")
+    (fun () -> ignore (Bitmap.get b (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitmap: index out of range")
+    (fun () -> Bitmap.set b 10)
+
+let bitmap_boundary_bits () =
+  (* Bits at byte boundaries must not interfere. *)
+  let b = Bitmap.create 17 in
+  Bitmap.set b 7;
+  Bitmap.set b 8;
+  Bitmap.set b 16;
+  check Alcotest.bool "bit 7" true (Bitmap.get b 7);
+  check Alcotest.bool "bit 8" true (Bitmap.get b 8);
+  check Alcotest.bool "bit 9 untouched" false (Bitmap.get b 9);
+  check Alcotest.bool "bit 16" true (Bitmap.get b 16);
+  check Alcotest.int "pop count" 3 (Bitmap.pop_count b)
+
+let bitmap_fold () =
+  let b = Bitmap.create 32 in
+  List.iter (Bitmap.set b) [ 1; 2; 30 ];
+  let sum = Bitmap.fold_set b ~init:0 ~f:( + ) in
+  check Alcotest.int "fold sum" 33 sum
+
+(* QCheck properties. *)
+
+let prop_bitmap_set_get =
+  QCheck.Test.make ~name:"bitmap: set then get" ~count:200
+    QCheck.(pair (int_bound 500) (list (int_bound 500)))
+    (fun (extra, indices) ->
+      let size = 501 in
+      let b = Bitmap.create size in
+      List.iter (fun i -> Bitmap.set b i) indices;
+      List.for_all (fun i -> Bitmap.get b i) indices
+      && (List.mem extra indices || not (Bitmap.get b extra)))
+
+let prop_bitmap_popcount =
+  QCheck.Test.make ~name:"bitmap: pop_count = distinct sets" ~count:200
+    QCheck.(list (int_bound 300))
+    (fun indices ->
+      let b = Bitmap.create 301 in
+      List.iter (fun i -> Bitmap.set b i) indices;
+      Bitmap.pop_count b = List.length (List.sort_uniq compare indices))
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let vec_push_pop () =
+  let v = Vec.create () in
+  check Alcotest.bool "empty" true (Vec.is_empty v);
+  Vec.push v 1;
+  Vec.push v 2;
+  Vec.push v 3;
+  check Alcotest.int "length" 3 (Vec.length v);
+  check (Alcotest.option Alcotest.int) "pop" (Some 3) (Vec.pop v);
+  check Alcotest.int "length after pop" 2 (Vec.length v);
+  check (Alcotest.option Alcotest.int) "pop" (Some 2) (Vec.pop v);
+  check (Alcotest.option Alcotest.int) "pop" (Some 1) (Vec.pop v);
+  check (Alcotest.option Alcotest.int) "pop empty" None (Vec.pop v)
+
+let vec_get_set () =
+  let v = Vec.make 5 0 in
+  Vec.set v 2 42;
+  check Alcotest.int "set/get" 42 (Vec.get v 2);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec: index out of range")
+    (fun () -> ignore (Vec.get v 5))
+
+let vec_growth () =
+  let v = Vec.create () in
+  for i = 0 to 9_999 do
+    Vec.push v i
+  done;
+  check Alcotest.int "length" 10_000 (Vec.length v);
+  check Alcotest.int "first" 0 (Vec.get v 0);
+  check Alcotest.int "last" 9_999 (Vec.get v 9_999)
+
+let vec_clear_retains_nothing_visible () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.clear v;
+  check Alcotest.int "cleared" 0 (Vec.length v);
+  Vec.push v 9;
+  check Alcotest.int "push after clear" 9 (Vec.get v 0)
+
+let vec_conversions () =
+  let v = Vec.of_list [ 3; 1; 2 ] in
+  check (Alcotest.list Alcotest.int) "to_list" [ 3; 1; 2 ] (Vec.to_list v);
+  Vec.sort compare v;
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 2; 3 ] (Vec.to_list v)
+
+let vec_fold_iter () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  check Alcotest.int "fold" 10 (Vec.fold_left ( + ) 0 v);
+  let idx_sum = ref 0 in
+  Vec.iteri (fun i x -> idx_sum := !idx_sum + (i * x)) v;
+  check Alcotest.int "iteri" 20 !idx_sum;
+  check Alcotest.bool "exists" true (Vec.exists (fun x -> x = 3) v);
+  check Alcotest.bool "not exists" false (Vec.exists (fun x -> x = 7) v)
+
+let prop_vec_push_preserves =
+  QCheck.Test.make ~name:"vec: of_list/to_list roundtrip" ~count:200
+    QCheck.(list int)
+    (fun xs -> Vec.to_list (Vec.of_list xs) = xs)
+
+let suite =
+  [
+    ( "util.rng",
+      [
+        case "deterministic" `Quick rng_deterministic;
+        case "seed sensitivity" `Quick rng_seed_sensitivity;
+        case "int bounds" `Quick rng_bounds;
+        case "int_in bounds" `Quick rng_int_in;
+        case "float bounds" `Quick rng_float_bounds;
+        case "copy independent" `Quick rng_copy_independent;
+        case "split diverges" `Quick rng_split_diverges;
+        case "rough uniformity" `Quick rng_uniformity_rough;
+        case "shuffle permutes" `Quick rng_shuffle_is_permutation;
+        case "exponential positive" `Quick rng_exponential_positive;
+        case "exponential mean" `Quick rng_exponential_mean;
+        case "invalid bound" `Quick rng_invalid_bound;
+      ] );
+    ( "util.bitmap",
+      [
+        case "basic" `Quick bitmap_basic;
+        case "test_and_set" `Quick bitmap_test_and_set;
+        case "reset" `Quick bitmap_reset;
+        case "iter ascending" `Quick bitmap_iter_ascending;
+        case "bounds" `Quick bitmap_bounds;
+        case "byte boundaries" `Quick bitmap_boundary_bits;
+        case "fold" `Quick bitmap_fold;
+        QCheck_alcotest.to_alcotest prop_bitmap_set_get;
+        QCheck_alcotest.to_alcotest prop_bitmap_popcount;
+      ] );
+    ( "util.vec",
+      [
+        case "push/pop" `Quick vec_push_pop;
+        case "get/set" `Quick vec_get_set;
+        case "growth" `Quick vec_growth;
+        case "clear" `Quick vec_clear_retains_nothing_visible;
+        case "conversions" `Quick vec_conversions;
+        case "fold/iter" `Quick vec_fold_iter;
+        QCheck_alcotest.to_alcotest prop_vec_push_preserves;
+      ] );
+  ]

@@ -1,0 +1,203 @@
+(* Tests for hcsgc.workloads: the synthetic micro-benchmark, the DaCapo
+   stand-ins and the SPECjbb stand-in — determinism, GC-independence of
+   results, and profile properties the paper relies on. *)
+
+module Vm = Hcsgc_runtime.Vm
+module Config = Hcsgc_core.Config
+module Gc_stats = Hcsgc_core.Gc_stats
+module Layout = Hcsgc_heap.Layout
+module Synthetic = Hcsgc_workloads.Synthetic
+module H2 = Hcsgc_workloads.H2_sim
+module Tradebeans = Hcsgc_workloads.Tradebeans_sim
+module Specjbb = Hcsgc_workloads.Specjbb_sim
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+let layout = Layout.scaled ~small_page:(16 * 1024)
+
+let mk_vm ?(config = Config.zgc) ?(max_heap = 16 * 1024 * 1024) () =
+  Vm.create ~layout ~config ~max_heap ()
+
+let small_synth =
+  {
+    Synthetic.default with
+    Synthetic.elements = 2_000;
+    accesses_per_loop = 1_000;
+    loops = 6;
+    garbage_words = 8;
+  }
+
+let synthetic_runs_and_counts () =
+  let vm = mk_vm () in
+  let r = Synthetic.run vm small_synth in
+  check Alcotest.int "access count" 6_000 r.Synthetic.accesses
+
+let synthetic_checksum_config_independent () =
+  (* The computation's RESULT must not depend on the GC configuration —
+     only its timing may. *)
+  let checksum config =
+    let vm = mk_vm ~config () in
+    (Synthetic.run vm small_synth).Synthetic.checksum
+  in
+  let base = checksum Config.zgc in
+  List.iter
+    (fun id ->
+      check Alcotest.int
+        (Printf.sprintf "checksum under config %d" id)
+        base
+        (checksum (Config.of_id id)))
+    [ 3; 7; 16; 18 ]
+
+let synthetic_triggers_gc () =
+  let vm = mk_vm ~max_heap:(1024 * 1024) () in
+  ignore (Synthetic.run vm small_synth);
+  check Alcotest.bool "GC cycles ran" true
+    (Gc_stats.cycles (Vm.gc_stats vm) > 0)
+
+let synthetic_phases () =
+  let vm = mk_vm () in
+  let r =
+    Synthetic.run vm { small_synth with Synthetic.phases = 3; loops = 6 }
+  in
+  check Alcotest.bool "phased run completes" true (r.Synthetic.accesses > 0)
+
+let synthetic_cold_array () =
+  let vm = mk_vm ~max_heap:(32 * 1024 * 1024) () in
+  let r =
+    Synthetic.run vm { small_synth with Synthetic.cold_elements = 10_000 }
+  in
+  check Alcotest.int "accesses unaffected by cold population" 6_000
+    r.Synthetic.accesses
+
+let synthetic_rejects_bad_params () =
+  let vm = mk_vm () in
+  Alcotest.check_raises "zero elements"
+    (Invalid_argument "Synthetic.run: non-positive parameter") (fun () ->
+      ignore (Synthetic.run vm { small_synth with Synthetic.elements = 0 }))
+
+let small_h2 =
+  {
+    H2.default with
+    H2.rows = 2_000;
+    buckets = 256;
+    transactions = 60;
+    ops_per_txn = 8;
+    hot_keys = 200;
+  }
+
+let h2_hits_everything () =
+  let vm = mk_vm () in
+  let r = H2.run vm small_h2 in
+  check Alcotest.int "every point query finds its row" r.H2.queries r.H2.hits;
+  check Alcotest.int "query count" (60 * 8) r.H2.queries
+
+let h2_deterministic_checksum () =
+  let go config =
+    let vm = mk_vm ~config () in
+    (H2.run vm small_h2).H2.checksum
+  in
+  check Alcotest.int "checksum config-independent" (go Config.zgc)
+    (go (Config.of_id 16))
+
+let h2_triggers_gc () =
+  let vm = mk_vm ~max_heap:(1024 * 1024) () in
+  ignore (H2.run vm { small_h2 with H2.transactions = 400 });
+  check Alcotest.bool "cycles" true (Gc_stats.cycles (Vm.gc_stats vm) > 0)
+
+let small_tb =
+  {
+    Tradebeans.default with
+    Tradebeans.accounts = 500;
+    instruments = 100;
+    orders = 800;
+    hot_accounts = 50;
+  }
+
+let tradebeans_conserves () =
+  let vm = mk_vm () in
+  let r = Tradebeans.run vm small_tb in
+  check Alcotest.int "orders processed" 800 r.Tradebeans.processed;
+  check Alcotest.bool "volume accumulated" true (r.Tradebeans.volume > 0)
+
+let tradebeans_short_lived_profile () =
+  (* The point of tradebeans: almost everything allocated dies.  After the
+     run plus a forced cycle, heap usage must be far below total allocation. *)
+  let vm = mk_vm ~max_heap:(8 * 1024 * 1024) () in
+  ignore (Tradebeans.run vm small_tb);
+  (* Force a couple of cycles to drain floating garbage. *)
+  for _ = 1 to 40_000 do
+    ignore (Vm.alloc vm ~nrefs:0 ~nwords:4)
+  done;
+  Vm.finish vm;
+  check Alcotest.bool "garbage was reclaimed" true
+    (Gc_stats.pages_freed (Vm.gc_stats vm) > 0)
+
+let tradebeans_deterministic () =
+  let go config =
+    let vm = mk_vm ~config () in
+    (Tradebeans.run vm small_tb).Tradebeans.volume
+  in
+  check Alcotest.int "volume config-independent" (go Config.zgc)
+    (go (Config.of_id 18))
+
+let small_jbb =
+  {
+    Specjbb.default with
+    Specjbb.warehouses = 2;
+    items_per_warehouse = 300;
+    ramp_steps = 4;
+    txns_per_step = 120;
+  }
+
+let specjbb_scores () =
+  let vm = mk_vm () in
+  let r = Specjbb.run vm small_jbb in
+  check Alcotest.bool "throughput positive" true (r.Specjbb.max_jops > 0.0);
+  check Alcotest.bool "latency score bounded by throughput" true
+    (r.Specjbb.critical_jops <= r.Specjbb.max_jops +. 1e-9);
+  check Alcotest.bool "mean latency positive" true (r.Specjbb.mean_latency > 0.0)
+
+let specjbb_low_survival () =
+  let vm = mk_vm ~max_heap:(8 * 1024 * 1024) () in
+  let r = Specjbb.run vm small_jbb in
+  (* The paper measures ~1% survival; we only require "low". *)
+  check Alcotest.bool "survival under 20%" true (r.Specjbb.survival_rate < 0.2)
+
+let specjbb_heap_ramps () =
+  let vm = mk_vm ~max_heap:(8 * 1024 * 1024) () in
+  ignore (Specjbb.run vm small_jbb);
+  check Alcotest.bool "heap samples recorded" true
+    (List.length (Gc_stats.heap_samples (Vm.gc_stats vm)) > 0)
+
+let suite =
+  [
+    ( "workloads.synthetic",
+      [
+        case "runs and counts" `Quick synthetic_runs_and_counts;
+        case "checksum config-independent" `Slow
+          synthetic_checksum_config_independent;
+        case "triggers GC" `Quick synthetic_triggers_gc;
+        case "phases" `Quick synthetic_phases;
+        case "cold array" `Quick synthetic_cold_array;
+        case "rejects bad params" `Quick synthetic_rejects_bad_params;
+      ] );
+    ( "workloads.h2",
+      [
+        case "all queries hit" `Quick h2_hits_everything;
+        case "checksum config-independent" `Slow h2_deterministic_checksum;
+        case "triggers GC" `Quick h2_triggers_gc;
+      ] );
+    ( "workloads.tradebeans",
+      [
+        case "orders processed" `Quick tradebeans_conserves;
+        case "short-lived profile" `Quick tradebeans_short_lived_profile;
+        case "volume config-independent" `Slow tradebeans_deterministic;
+      ] );
+    ( "workloads.specjbb",
+      [
+        case "scores" `Quick specjbb_scores;
+        case "low survival" `Quick specjbb_low_survival;
+        case "heap samples" `Quick specjbb_heap_ramps;
+      ] );
+  ]
