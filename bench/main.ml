@@ -5,6 +5,7 @@
      dune exec bench/main.exe                    # everything, fast settings
      dune exec bench/main.exe -- --only f4,f12   # selected artefacts
      dune exec bench/main.exe -- --runs 10       # bigger samples
+     dune exec bench/main.exe -- -j 4            # 4 worker domains per sweep
      dune exec bench/main.exe -- --full          # paper-closer sizes (slow)
      dune exec bench/main.exe -- --list          # artefact ids *)
 
@@ -81,7 +82,7 @@ let micro () =
 type artefact = {
   id : string;
   what : string;
-  run : runs:int option -> full:bool -> unit;
+  run : runs:int option -> full:bool -> jobs:int -> unit;
 }
 
 let scale_or ~full fast_scale full_scale = if full then full_scale else fast_scale
@@ -91,83 +92,83 @@ let or_runs r d = match r with Some r -> r | None -> d
 let artefacts =
   [
     { id = "t1"; what = "Table 1: ZGC page size classes";
-      run = (fun ~runs:_ ~full:_ -> E.Tables.t1 fmt) };
+      run = (fun ~runs:_ ~full:_ ~jobs:_ -> E.Tables.t1 fmt) };
     { id = "t2"; what = "Table 2: the 19 benchmark configurations";
-      run = (fun ~runs:_ ~full:_ -> E.Tables.t2 fmt) };
+      run = (fun ~runs:_ ~full:_ ~jobs:_ -> E.Tables.t2 fmt) };
     { id = "t3"; what = "Table 3: LAW graph datasets (generator stand-ins)";
-      run = (fun ~runs:_ ~full:_ -> E.Tables.t3 ~scale:4 fmt) };
+      run = (fun ~runs:_ ~full:_ ~jobs:_ -> E.Tables.t3 ~scale:4 fmt) };
     { id = "f4"; what = "Fig. 4: synthetic, single phase";
       run =
-        (fun ~runs ~full ->
-          E.Fig_synthetic.fig4 ~runs:(or_runs runs (if full then 10 else 3))
+        (fun ~runs ~full ~jobs ->
+          E.Fig_synthetic.fig4 ~runs:(or_runs runs (if full then 10 else 3)) ~jobs
             ~scale:(scale_or ~full 2 1) fmt) };
     { id = "f5"; what = "Fig. 5: synthetic, three phases";
       run =
-        (fun ~runs ~full ->
-          E.Fig_synthetic.fig5 ~runs:(or_runs runs (if full then 10 else 3))
+        (fun ~runs ~full ~jobs ->
+          E.Fig_synthetic.fig5 ~runs:(or_runs runs (if full then 10 else 3)) ~jobs
             ~scale:(scale_or ~full 2 1) fmt) };
     { id = "f6"; what = "Fig. 6: ample relocation, saturated core";
       run =
-        (fun ~runs ~full ->
-          E.Fig_synthetic.fig6 ~runs:(or_runs runs (if full then 5 else 2))
+        (fun ~runs ~full ~jobs ->
+          E.Fig_synthetic.fig6 ~runs:(or_runs runs (if full then 5 else 2)) ~jobs
             ~scale:(scale_or ~full 4 2) fmt) };
     { id = "f7"; what = "Fig. 7: CC on uk";
       run =
-        (fun ~runs ~full ->
-          E.Fig_graph.fig7 ~runs:(or_runs runs 3) ~scale:(scale_or ~full 16 8)
+        (fun ~runs ~full ~jobs ->
+          E.Fig_graph.fig7 ~runs:(or_runs runs 3) ~jobs ~scale:(scale_or ~full 16 8)
             fmt) };
     { id = "f8"; what = "Fig. 8: CC on enwiki";
       run =
-        (fun ~runs ~full ->
-          E.Fig_graph.fig8 ~runs:(or_runs runs 3) ~scale:(scale_or ~full 16 8)
+        (fun ~runs ~full ~jobs ->
+          E.Fig_graph.fig8 ~runs:(or_runs runs 3) ~jobs ~scale:(scale_or ~full 16 8)
             fmt) };
     { id = "f9"; what = "Fig. 9: MC on uk";
       run =
-        (fun ~runs ~full ->
-          E.Fig_graph.fig9 ~runs:(or_runs runs 2) ~scale:(scale_or ~full 4 2)
+        (fun ~runs ~full ~jobs ->
+          E.Fig_graph.fig9 ~runs:(or_runs runs 2) ~jobs ~scale:(scale_or ~full 4 2)
             fmt) };
     { id = "f10"; what = "Fig. 10: MC on enwiki";
       run =
-        (fun ~runs ~full ->
-          E.Fig_graph.fig10 ~runs:(or_runs runs 2) ~scale:(scale_or ~full 4 2)
+        (fun ~runs ~full ~jobs ->
+          E.Fig_graph.fig10 ~runs:(or_runs runs 2) ~jobs ~scale:(scale_or ~full 4 2)
             fmt) };
     { id = "f11"; what = "Fig. 11: DaCapo tradebeans (simulated)";
       run =
-        (fun ~runs ~full ->
-          E.Fig_dacapo.fig11 ~runs:(or_runs runs (if full then 5 else 3))
+        (fun ~runs ~full ~jobs ->
+          E.Fig_dacapo.fig11 ~runs:(or_runs runs (if full then 5 else 3)) ~jobs
             ~scale:(scale_or ~full 2 1) fmt) };
     { id = "f12"; what = "Fig. 12: DaCapo h2 (simulated)";
       run =
-        (fun ~runs ~full ->
-          E.Fig_dacapo.fig12 ~runs:(or_runs runs (if full then 5 else 2))
+        (fun ~runs ~full ~jobs ->
+          E.Fig_dacapo.fig12 ~runs:(or_runs runs (if full then 5 else 2)) ~jobs
             ~scale:(scale_or ~full 2 1) fmt) };
     { id = "f13"; what = "Fig. 13: SPECjbb2015 (simulated)";
       run =
-        (fun ~runs ~full ->
-          E.Fig_specjbb.fig13 ~runs:(or_runs runs 2) ~scale:(scale_or ~full 2 1)
+        (fun ~runs ~full ~jobs ->
+          E.Fig_specjbb.fig13 ~runs:(or_runs runs 2) ~jobs ~scale:(scale_or ~full 2 1)
             fmt) };
     { id = "abl-prefetch"; what = "ablation: access-order layout needs prefetching";
       run =
-        (fun ~runs ~full ->
-          E.Ablations.prefetcher ~runs:(or_runs runs 3)
+        (fun ~runs ~full ~jobs ->
+          E.Ablations.prefetcher ~runs:(or_runs runs 3) ~jobs
             ~scale:(scale_or ~full 2 1) fmt) };
     { id = "abl-tlb"; what = "ablation: page-locality (dTLB) effect";
       run =
-        (fun ~runs ~full ->
-          E.Ablations.tlb ~runs:(or_runs runs 3) ~scale:(scale_or ~full 2 1)
+        (fun ~runs ~full ~jobs ->
+          E.Ablations.tlb ~runs:(or_runs runs 3) ~jobs ~scale:(scale_or ~full 2 1)
             fmt) };
     { id = "abl-pagesize"; what = "ablation: page-size-class granularity";
       run =
-        (fun ~runs ~full ->
-          E.Ablations.page_size ~runs:(or_runs runs 3)
+        (fun ~runs ~full ~jobs ->
+          E.Ablations.page_size ~runs:(or_runs runs 3) ~jobs
             ~scale:(scale_or ~full 2 1) fmt) };
     { id = "abl-autotune"; what = "ablation: COLDCONFIDENCE feedback loop";
       run =
-        (fun ~runs ~full ->
-          E.Ablations.autotuner ~runs:(or_runs runs 3)
+        (fun ~runs ~full ~jobs ->
+          E.Ablations.autotuner ~runs:(or_runs runs 3) ~jobs
             ~scale:(scale_or ~full 2 1) fmt) };
     { id = "micro"; what = "bechamel micro-benchmarks of HCSGC primitives";
-      run = (fun ~runs:_ ~full:_ -> micro ()) };
+      run = (fun ~runs:_ ~full:_ ~jobs:_ -> micro ()) };
   ]
 
 let () =
@@ -175,6 +176,11 @@ let () =
   let runs = ref None in
   let full = ref false in
   let list_only = ref false in
+  let jobs = ref (Hcsgc_exec.Pool.default_jobs ()) in
+  let set_jobs n =
+    if n < 1 then raise (Arg.Bad "--jobs must be >= 1");
+    jobs := n
+  in
   let spec =
     [
       ( "--only",
@@ -182,6 +188,13 @@ let () =
           (fun s -> only := String.split_on_char ',' s |> List.map String.trim),
         "IDS comma-separated artefact ids (see --list)" );
       ("--runs", Arg.Int (fun n -> runs := Some n), "N sample size per config");
+      ( "--jobs",
+        Arg.Int set_jobs,
+        Printf.sprintf
+          "N worker domains for sweeps (default: cores, clamped; here %d); \
+           output is identical at any N"
+          !jobs );
+      ("-j", Arg.Int set_jobs, "N short for --jobs");
       ("--full", Arg.Set full, " paper-closer sizes (much slower)");
       ("--list", Arg.Set list_only, " list artefact ids and exit");
     ]
@@ -206,7 +219,7 @@ let () =
     List.iter
       (fun a ->
         Format.eprintf "[bench] running %s (%s)@." a.id a.what;
-        a.run ~runs:!runs ~full:!full)
+        a.run ~runs:!runs ~full:!full ~jobs:!jobs)
       selected;
     Format.eprintf "[bench] done in %.1fs@." (Unix.gettimeofday () -. t0)
   end

@@ -34,6 +34,16 @@ let runs =
   let doc = "Sample size per configuration (with --all-configs)." in
   Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for sweeps (with --all-configs). The default is the \
+     machine's recommended domain count, clamped. Results are aggregated \
+     in job order, so output is identical at any $(docv)."
+  in
+  Arg.(value
+      & opt int (Hcsgc_exec.Pool.default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let scale =
   let doc = "Divide workload size by $(docv)." in
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"K" ~doc)
@@ -71,10 +81,10 @@ let report_single vm =
   Format.fprintf fmt "cache (mutator only):  loads=%d l1m=%d llcm=%d@."
     mc.H.loads mc.H.l1_misses mc.H.llc_misses
 
-let run_experiment ~all ~runs ~config_id (exp : E.Runner.experiment) =
+let run_experiment ~all ~runs ~jobs ~config_id (exp : E.Runner.experiment) =
   if all then
     let results =
-      E.Runner.run_configs ~runs
+      E.Runner.run_configs ~runs ~jobs
         ~progress:(fun m -> Format.eprintf "[run] %s@." m)
         exp
     in
@@ -108,18 +118,18 @@ let synthetic_cmd =
     Arg.(value & opt int 0 & info [ "cold-ratio" ] ~docv:"R"
            ~doc:"Never-accessed cold elements per hot element (Fig. 6 uses 10).")
   in
-  let run config_id all runs scale saturated _seed elements phases cold_ratio =
+  let run config_id all runs jobs scale saturated _seed elements phases cold_ratio =
     let scale = max 1 (scale * (100_000 / max 1 elements)) in
     let exp =
       E.Fig_synthetic.experiment ~phases ~cold_ratio ~saturated ~scale ()
     in
-    run_experiment ~all ~runs ~config_id exp
+    run_experiment ~all ~runs ~jobs ~config_id exp
   in
   Cmd.v
     (Cmd.info "synthetic" ~doc:"The paper's synthetic micro-benchmark (§4.4)")
     Term.(
-      const run $ config_id $ all_configs $ runs $ scale $ saturated $ seed
-      $ elements $ phases $ cold_ratio)
+      const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
+      $ seed $ elements $ phases $ cold_ratio)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)
@@ -152,7 +162,7 @@ let graph_cmd =
         & opt (conv (parse, print)) `Uk
         & info [ "dataset" ] ~docv:"uk|enwiki" ~doc:"Table 3 input (generator stand-in).")
   in
-  let run config_id all runs scale _saturated _seed algo dataset =
+  let run config_id all runs jobs scale _saturated _seed algo dataset =
     let module D = Hcsgc_graph.Dataset in
     let exp =
       match (algo, dataset) with
@@ -164,35 +174,39 @@ let graph_cmd =
       | `Mc, `Enwiki ->
           E.Fig_graph.mc_experiment ~dataset:D.enwiki_mc ~scale:(2 * scale) ()
     in
-    run_experiment ~all ~runs ~config_id exp
+    run_experiment ~all ~runs ~jobs ~config_id exp
   in
   Cmd.v
     (Cmd.info "graph" ~doc:"JGraphT-style graph workloads (§4.5)")
     Term.(
-      const run $ config_id $ all_configs $ runs $ scale $ saturated $ seed
-      $ algo $ dataset)
+      const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
+      $ seed $ algo $ dataset)
 
 (* ------------------------------------------------------------------ *)
 (* h2 / tradebeans / specjbb                                           *)
 (* ------------------------------------------------------------------ *)
 
 let h2_cmd =
-  let run config_id all runs scale _ _ =
-    run_experiment ~all ~runs ~config_id (E.Fig_dacapo.h2_experiment ~scale)
+  let run config_id all runs jobs scale _ _ =
+    run_experiment ~all ~runs ~jobs ~config_id (E.Fig_dacapo.h2_experiment ~scale)
   in
   Cmd.v
     (Cmd.info "h2" ~doc:"In-memory-database workload (DaCapo h2 stand-in, §4.6)")
-    Term.(const run $ config_id $ all_configs $ runs $ scale $ saturated $ seed)
+    Term.(
+      const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
+      $ seed)
 
 let tradebeans_cmd =
-  let run config_id all runs scale _ _ =
-    run_experiment ~all ~runs ~config_id
+  let run config_id all runs jobs scale _ _ =
+    run_experiment ~all ~runs ~jobs ~config_id
       (E.Fig_dacapo.tradebeans_experiment ~scale)
   in
   Cmd.v
     (Cmd.info "tradebeans"
        ~doc:"Trading-session workload (DaCapo tradebeans stand-in, §4.6)")
-    Term.(const run $ config_id $ all_configs $ runs $ scale $ saturated $ seed)
+    Term.(
+      const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
+      $ seed)
 
 let specjbb_cmd =
   let run config_id _all _runs scale _ seed =
@@ -258,21 +272,21 @@ let figure_cmd =
         & pos 0 (some string) None
         & info [] ~docv:"FIG" ~doc:"t1 t2 t3 f4..f13")
   in
-  let run which runs scale =
+  let run which runs jobs scale =
     match which with
     | "t1" -> E.Tables.t1 fmt
     | "t2" -> E.Tables.t2 fmt
     | "t3" -> E.Tables.t3 ~scale fmt
-    | "f4" -> E.Fig_synthetic.fig4 ~runs ~scale fmt
-    | "f5" -> E.Fig_synthetic.fig5 ~runs ~scale fmt
-    | "f6" -> E.Fig_synthetic.fig6 ~runs ~scale fmt
-    | "f7" -> E.Fig_graph.fig7 ~runs ~scale fmt
-    | "f8" -> E.Fig_graph.fig8 ~runs ~scale fmt
-    | "f9" -> E.Fig_graph.fig9 ~runs ~scale fmt
-    | "f10" -> E.Fig_graph.fig10 ~runs ~scale fmt
-    | "f11" -> E.Fig_dacapo.fig11 ~runs ~scale fmt
-    | "f12" -> E.Fig_dacapo.fig12 ~runs ~scale fmt
-    | "f13" -> E.Fig_specjbb.fig13 ~runs ~scale fmt
+    | "f4" -> E.Fig_synthetic.fig4 ~runs ~jobs ~scale fmt
+    | "f5" -> E.Fig_synthetic.fig5 ~runs ~jobs ~scale fmt
+    | "f6" -> E.Fig_synthetic.fig6 ~runs ~jobs ~scale fmt
+    | "f7" -> E.Fig_graph.fig7 ~runs ~jobs ~scale fmt
+    | "f8" -> E.Fig_graph.fig8 ~runs ~jobs ~scale fmt
+    | "f9" -> E.Fig_graph.fig9 ~runs ~jobs ~scale fmt
+    | "f10" -> E.Fig_graph.fig10 ~runs ~jobs ~scale fmt
+    | "f11" -> E.Fig_dacapo.fig11 ~runs ~jobs ~scale fmt
+    | "f12" -> E.Fig_dacapo.fig12 ~runs ~jobs ~scale fmt
+    | "f13" -> E.Fig_specjbb.fig13 ~runs ~jobs ~scale fmt
     | other -> Format.eprintf "unknown figure: %s@." other
   in
   Cmd.v
@@ -280,6 +294,7 @@ let figure_cmd =
     Term.(
       const run $ which
       $ Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc:"Sample size.")
+      $ jobs
       $ Arg.(value & opt int 2 & info [ "scale" ] ~docv:"K" ~doc:"Scale divisor."))
 
 let () =

@@ -1,0 +1,122 @@
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  wake : Condition.t;  (* signalled on push and on close *)
+  queue : task Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = max 1 (min 16 (Domain.recommended_domain_count ()))
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a promise = {
+  pm : Mutex.t;
+  pc : Condition.t;
+  mutable state : 'a state;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.wake t.mutex
+  done;
+  match Queue.take_opt t.queue with
+  | None ->
+      (* closed and drained *)
+      Mutex.unlock t.mutex
+  | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      worker_loop t
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let settle p state =
+  Mutex.lock p.pm;
+  p.state <- state;
+  Condition.broadcast p.pc;
+  Mutex.unlock p.pm
+
+let run_task f p =
+  let state =
+    try Done (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ())
+  in
+  settle p state
+
+let async t f =
+  let p = { pm = Mutex.create (); pc = Condition.create (); state = Pending } in
+  if t.jobs <= 1 then begin
+    (* Sequential path: no domains, execute on the submitting domain now. *)
+    if t.closed then invalid_arg "Pool.async: pool is shut down";
+    run_task f p
+  end
+  else begin
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.async: pool is shut down"
+    end;
+    Queue.push (fun () -> run_task f p) t.queue;
+    Condition.signal t.wake;
+    Mutex.unlock t.mutex
+  end;
+  p
+
+let await p =
+  Mutex.lock p.pm;
+  while (match p.state with Pending -> true | _ -> false) do
+    Condition.wait p.pc p.pm
+  done;
+  let state = p.state in
+  Mutex.unlock p.pm;
+  match state with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let map_list t f xs =
+  (* Submit everything first, then await in submission order: results are
+     deterministic no matter how workers interleave. *)
+  let promises = List.map (fun x -> async t (fun () -> f x)) xs in
+  List.map await promises
+
+let map_array t f xs =
+  let promises = Array.map (fun x -> async t (fun () -> f x)) xs in
+  Array.map await promises
+
+let shutdown t =
+  if not t.closed then begin
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,58 @@
+(** A fixed-size pool of OCaml 5 [Domain]s executing a queue of thunks.
+
+    The experiment stack uses this to fan independent (configuration, run)
+    jobs across cores.  Design points:
+
+    - {b Fixed size.} [create ~jobs] spawns exactly [jobs] worker domains
+      when [jobs > 1]; [jobs <= 1] spawns {e no} domains and every thunk
+      runs immediately on the submitting domain — the sequential in-process
+      path, bit-identical to a plain [List.map].
+    - {b Ordered results.} {!map_list} / {!map_array} return results in
+      submission order regardless of completion order, so aggregation is
+      deterministic under any scheduling.
+    - {b Exception transparency.} An exception raised by a thunk is
+      captured together with its backtrace and re-raised (with that
+      backtrace) from {!await} / {!map_list} on the submitting domain.
+
+    Thunks must not themselves block on promises from the same pool
+    (workers do not steal), and anything they share must be domain-safe. *)
+
+type t
+(** A pool handle.  Usable from the domain that created it. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] clamped to [1, 16] — the default
+    for the CLIs' [--jobs]. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] starts [max 1 jobs] workers ([jobs <= 1]: none). *)
+
+val jobs : t -> int
+(** Worker count the pool was created with (>= 1). *)
+
+val shutdown : t -> unit
+(** Drain outstanding tasks, join all workers.  Idempotent.  Submitting
+    to a shut-down pool raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and guarantees
+    {!shutdown} on exit, including exceptional exit. *)
+
+type 'a promise
+(** The eventual result of a submitted thunk. *)
+
+val async : t -> (unit -> 'a) -> 'a promise
+(** Submit a thunk.  With [jobs <= 1] the thunk runs right here, right
+    now, on the calling domain. *)
+
+val await : 'a promise -> 'a
+(** Block until the thunk finished; return its value or re-raise its
+    exception with the original backtrace. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list t f xs] = [List.map f xs], fanned across the pool, results
+    in submission (list) order.  On a thunk exception, the first failure
+    in submission order is re-raised after all tasks settle. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Array analogue of {!map_list}. *)

@@ -5,6 +5,7 @@ module Synthetic = Hcsgc_workloads.Synthetic
 module H = Hcsgc_memsim.Hierarchy
 module Render = Hcsgc_stats.Render
 module Bootstrap = Hcsgc_stats.Bootstrap
+module Pool = Hcsgc_exec.Pool
 
 let layout = Layout.scaled ~small_page:(64 * 1024)
 
@@ -25,8 +26,24 @@ let run_one ?(layout = layout) ~machine_config ~autotune ~config ~scale ~seed
   Vm.finish vm;
   vm
 
-let estimate ~runs f =
-  Bootstrap.estimate ~seed:42 (Array.init runs (fun seed -> f ~seed))
+(* Expand every (variant, seed) pair into one engine job, fan across the
+   pool, then bootstrap each variant from its seed-ordered samples — the
+   same ordered-aggregation determinism as Runner.run_configs. *)
+let estimates ~jobs ~runs variants =
+  let job_list =
+    List.concat_map
+      (fun (name, f) -> List.init runs (fun seed -> (name, f, seed)))
+      variants
+  in
+  let samples =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map_list pool (fun (_, f, seed) -> f ~seed) job_list)
+  in
+  List.mapi
+    (fun i (name, _) ->
+      let mine = List.filteri (fun j _ -> j / runs = i) samples in
+      (name, Bootstrap.estimate ~seed:42 (Array.of_list mine)))
+    variants
 
 let table fmt ~title ~note rows =
   Format.fprintf fmt "=== Ablation — %s ===@.%s@.@." title note;
@@ -46,7 +63,7 @@ let table fmt ~title ~note rows =
          rows);
   Format.pp_print_newline fmt ()
 
-let prefetcher ?(runs = 3) ?(scale = 2) fmt =
+let prefetcher ?(runs = 3) ?(scale = 2) ?(jobs = 1) fmt =
   let go ~prefetch ~config_id ~seed =
     let machine_config = { Scaled_machine.config with H.prefetch } in
     float_of_int
@@ -55,12 +72,13 @@ let prefetcher ?(runs = 3) ?(scale = 2) fmt =
             ~config:(Config.of_id config_id) ~scale ~seed ()))
   in
   let rows =
-    [
-      ("zgc, prefetch on", estimate ~runs (go ~prefetch:true ~config_id:0));
-      ("cfg 16, prefetch on", estimate ~runs (go ~prefetch:true ~config_id:16));
-      ("zgc, prefetch off", estimate ~runs (go ~prefetch:false ~config_id:0));
-      ("cfg 16, prefetch off", estimate ~runs (go ~prefetch:false ~config_id:16));
-    ]
+    estimates ~jobs ~runs
+      [
+        ("zgc, prefetch on", go ~prefetch:true ~config_id:0);
+        ("cfg 16, prefetch on", go ~prefetch:true ~config_id:16);
+        ("zgc, prefetch off", go ~prefetch:false ~config_id:0);
+        ("cfg 16, prefetch off", go ~prefetch:false ~config_id:16);
+      ]
   in
   table fmt ~title:"hardware prefetching"
     ~note:
@@ -77,7 +95,7 @@ let prefetcher ?(runs = 3) ?(scale = 2) fmt =
         (Render.pct (win off0 off16))
   | _ -> ())
 
-let tlb ?(runs = 3) ?(scale = 2) fmt =
+let tlb ?(runs = 3) ?(scale = 2) ?(jobs = 1) fmt =
   let go ~config_id ~seed =
     let machine_config = { Scaled_machine.config with H.tlb = true } in
     let vm =
@@ -90,12 +108,13 @@ let tlb ?(runs = 3) ?(scale = 2) fmt =
     ~note:
       "expectation: with the dTLB model on, HCSGC's packing of hot objects \
        onto fewer pages also cuts page walks (the page-locality effect)"
-    [
-      ("zgc, tlb on", estimate ~runs (go ~config_id:0));
-      ("cfg 16, tlb on", estimate ~runs (go ~config_id:16));
-    ]
+    (estimates ~jobs ~runs
+       [
+         ("zgc, tlb on", go ~config_id:0);
+         ("cfg 16, tlb on", go ~config_id:16);
+       ])
 
-let autotuner ?(runs = 3) ?(scale = 2) fmt =
+let autotuner ?(runs = 3) ?(scale = 2) ?(jobs = 1) fmt =
   let fixed cc ~seed =
     let config =
       if cc = 0.0 then Config.make ~hotness:true ~lazy_relocate:true ()
@@ -117,14 +136,15 @@ let autotuner ?(runs = 3) ?(scale = 2) fmt =
     ~note:
       "expectation: the autotuner approaches the best fixed setting without \
        being told it"
-    [
-      ("fixed cc=0.0 (+lazy)", estimate ~runs (fixed 0.0));
-      ("fixed cc=0.5 (+lazy)", estimate ~runs (fixed 0.5));
-      ("fixed cc=1.0 (+lazy)", estimate ~runs (fixed 1.0));
-      ("autotuned (+lazy)", estimate ~runs tuned);
-    ]
+    (estimates ~jobs ~runs
+       [
+         ("fixed cc=0.0 (+lazy)", fixed 0.0);
+         ("fixed cc=0.5 (+lazy)", fixed 0.5);
+         ("fixed cc=1.0 (+lazy)", fixed 1.0);
+         ("autotuned (+lazy)", tuned);
+       ])
 
-let page_size ?(runs = 3) ?(scale = 2) fmt =
+let page_size ?(runs = 3) ?(scale = 2) ?(jobs = 1) fmt =
   (* §3.4 / §4.8: smaller pages mean finer relocation granularity — EC
      selection can isolate hot objects more precisely, at the cost of more
      page bookkeeping. *)
@@ -140,9 +160,10 @@ let page_size ?(runs = 3) ?(scale = 2) fmt =
     ~note:
       "expectation: under cfg 16 (WLB selection), smaller pages excavate hot \
        objects more precisely; the baseline is largely insensitive"
-    [
-      ("zgc, 64K pages", estimate ~runs (go ~small_page:(64 * 1024) ~config_id:0));
-      ("cfg 16, 64K pages", estimate ~runs (go ~small_page:(64 * 1024) ~config_id:16));
-      ("cfg 16, 32K pages", estimate ~runs (go ~small_page:(32 * 1024) ~config_id:16));
-      ("cfg 16, 16K pages", estimate ~runs (go ~small_page:(16 * 1024) ~config_id:16));
-    ]
+    (estimates ~jobs ~runs
+       [
+         ("zgc, 64K pages", go ~small_page:(64 * 1024) ~config_id:0);
+         ("cfg 16, 64K pages", go ~small_page:(64 * 1024) ~config_id:16);
+         ("cfg 16, 32K pages", go ~small_page:(32 * 1024) ~config_id:16);
+         ("cfg 16, 16K pages", go ~small_page:(16 * 1024) ~config_id:16);
+       ])

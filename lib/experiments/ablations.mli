@@ -14,7 +14,7 @@
       finer-grained relocation; sweeping the (scaled) page size shows the
       granularity effect directly. *)
 
-val prefetcher : ?runs:int -> ?scale:int -> Format.formatter -> unit
-val tlb : ?runs:int -> ?scale:int -> Format.formatter -> unit
-val autotuner : ?runs:int -> ?scale:int -> Format.formatter -> unit
-val page_size : ?runs:int -> ?scale:int -> Format.formatter -> unit
+val prefetcher : ?runs:int -> ?scale:int -> ?jobs:int -> Format.formatter -> unit
+val tlb : ?runs:int -> ?scale:int -> ?jobs:int -> Format.formatter -> unit
+val autotuner : ?runs:int -> ?scale:int -> ?jobs:int -> Format.formatter -> unit
+val page_size : ?runs:int -> ?scale:int -> ?jobs:int -> Format.formatter -> unit

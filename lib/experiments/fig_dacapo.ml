@@ -46,28 +46,28 @@ let h2_experiment ~scale =
       (fun vm ~run -> ignore (H2.run vm { params with H2.seed = run }));
   }
 
-let render fmt ~title ~expectation ~runs exp =
+let render fmt ~title ~expectation ~runs ~jobs exp =
   let results =
-    Runner.run_configs ~runs
+    Runner.run_configs ~runs ~jobs
       ~progress:(fun msg -> Format.eprintf "[bench] %s@." msg)
       exp
   in
   Report.figure fmt ~title ~expectation results
 
-let fig11 ?(runs = 5) ?(scale = 1) fmt =
+let fig11 ?(runs = 5) ?(scale = 1) ?(jobs = 1) fmt =
   render fmt ~title:"Fig. 11 — DaCapo tradebeans (simulated)"
     ~expectation:
       "little improvement (≤ ~5% at best): most objects are very short \
        lived, and HCSGC only improves locality for objects surviving a GC \
        cycle"
-    ~runs
+    ~runs ~jobs
     (tradebeans_experiment ~scale)
 
-let fig12 ?(runs = 5) ?(scale = 1) fmt =
+let fig12 ?(runs = 5) ?(scale = 1) ?(jobs = 1) fmt =
   render fmt ~title:"Fig. 12 — DaCapo h2 (simulated)"
     ~expectation:
       "5-9% improvement for several configurations; < 2% overhead for \
        hotness tracking alone (config 5); RELOCATEALLSMALLPAGES outperforms \
        COLDCONFIDENCE"
-    ~runs
+    ~runs ~jobs
     (h2_experiment ~scale)

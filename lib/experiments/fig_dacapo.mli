@@ -2,8 +2,8 @@
     ≈ flat — objects die too young for relocation to help) and {!fig12} h2
     (expected 5–9 % improvements, hotness-tracking overhead < 2 %). *)
 
-val fig11 : ?runs:int -> ?scale:int -> Format.formatter -> unit
-val fig12 : ?runs:int -> ?scale:int -> Format.formatter -> unit
+val fig11 : ?runs:int -> ?scale:int -> ?jobs:int -> Format.formatter -> unit
+val fig12 : ?runs:int -> ?scale:int -> ?jobs:int -> Format.formatter -> unit
 
 val tradebeans_experiment : scale:int -> Runner.experiment
 val h2_experiment : scale:int -> Runner.experiment

@@ -54,9 +54,9 @@ let mc_experiment ?(max_expansions = 30_000) ~dataset ~scale () =
         Hcsgc_graph.Mgraph.dispose g);
   }
 
-let render fmt ~title ~expectation ~runs exp =
+let render fmt ~title ~expectation ~runs ~jobs exp =
   let results =
-    Runner.run_configs ~runs
+    Runner.run_configs ~runs ~jobs
       ~progress:(fun msg -> Format.eprintf "[bench] %s@." msg)
       exp
   in
@@ -73,22 +73,22 @@ let mc_expectation =
    14-16; config 3 well ahead of config 2 (hot objects on well-populated \
    pages need the bigger EC)"
 
-let fig7 ?(runs = 3) ?(scale = 8) fmt =
+let fig7 ?(runs = 3) ?(scale = 8) ?(jobs = 1) fmt =
   render fmt ~title:"Fig. 7 — connected components, uk dataset"
-    ~expectation:cc_expectation ~runs
+    ~expectation:cc_expectation ~runs ~jobs
     (cc_experiment ~dataset:Dataset.uk_cc ~scale)
 
-let fig8 ?(runs = 3) ?(scale = 8) fmt =
+let fig8 ?(runs = 3) ?(scale = 8) ?(jobs = 1) fmt =
   render fmt ~title:"Fig. 8 — connected components, enwiki dataset"
-    ~expectation:cc_expectation ~runs
+    ~expectation:cc_expectation ~runs ~jobs
     (cc_experiment ~dataset:Dataset.enwiki_cc ~scale)
 
-let fig9 ?(runs = 3) ?(scale = 2) fmt =
+let fig9 ?(runs = 3) ?(scale = 2) ?(jobs = 1) fmt =
   render fmt ~title:"Fig. 9 — Bron-Kerbosch (MC), uk dataset"
-    ~expectation:mc_expectation ~runs
+    ~expectation:mc_expectation ~runs ~jobs
     (mc_experiment ~dataset:Dataset.uk_mc ~scale ())
 
-let fig10 ?(runs = 3) ?(scale = 2) fmt =
+let fig10 ?(runs = 3) ?(scale = 2) ?(jobs = 1) fmt =
   render fmt ~title:"Fig. 10 — Bron-Kerbosch (MC), enwiki dataset"
-    ~expectation:mc_expectation ~runs
+    ~expectation:mc_expectation ~runs ~jobs
     (mc_experiment ~dataset:Dataset.enwiki_mc ~scale ())

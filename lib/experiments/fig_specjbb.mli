@@ -6,6 +6,6 @@
     effect — survival rate ≈ 1 %), and heap usage that grows over the run
     as the injector ramps the allocation rate. *)
 
-val fig13 : ?runs:int -> ?scale:int -> Format.formatter -> unit
+val fig13 : ?runs:int -> ?scale:int -> ?jobs:int -> Format.formatter -> unit
 
 val experiment_params : scale:int -> Hcsgc_workloads.Specjbb_sim.params

@@ -37,38 +37,38 @@ let experiment ?(phases = 1) ?(cold_ratio = 0) ?(saturated = false)
         ignore (Synthetic.run vm { params with Synthetic.seed = run }));
   }
 
-let render fmt ~title ~expectation ~runs exp =
+let render fmt ~title ~expectation ~runs ~jobs exp =
   let results =
-    Runner.run_configs ~runs
+    Runner.run_configs ~runs ~jobs
       ~progress:(fun msg -> Format.eprintf "[bench] %s@." msg)
       exp
   in
   Report.figure fmt ~title ~expectation results
 
-let fig4 ?(runs = 5) ?(scale = 1) fmt =
+let fig4 ?(runs = 5) ?(scale = 1) ?(jobs = 1) fmt =
   render fmt ~title:"Fig. 4 — synthetic, single phase"
     ~expectation:
       "largest speedups for configs 4/10/16/18 (big EC + lazy), next 3/17, \
        some improvement 7/13, none for 2/5/8/11/14; large L1/LLC miss \
        reductions for improving configs; loads increase but are cache-served"
-    ~runs
+    ~runs ~jobs
     (experiment ~scale ())
 
-let fig5 ?(runs = 5) ?(scale = 1) fmt =
+let fig5 ?(runs = 5) ?(scale = 1) ?(jobs = 1) fmt =
   render fmt ~title:"Fig. 5 — synthetic, three phases"
     ~expectation:
       "same shape as Fig. 4: HCSGC adapts to phase changes (per-phase stable \
        access orders are re-captured after each change)"
-    ~runs
+    ~runs ~jobs
     (experiment ~phases:3 ~scale ())
 
-let fig6 ?(runs = 3) ?(scale = 2) fmt =
+let fig6 ?(runs = 3) ?(scale = 2) ?(jobs = 1) fmt =
   render fmt ~title:"Fig. 6 — ample relocation, saturated single core"
     ~expectation:
       "large overhead for RELOCATEALLSMALLPAGES configs 3/4/17/18 (copying \
        the 10x cold population on the critical path); COLDCONFIDENCE configs \
        7/10/13/16 still improve"
-    ~runs
+    ~runs ~jobs
     (* The tighter heap paces cycles frequently, so the 10x cold population
        is re-evacuated repeatedly — the overhead Fig. 6 is about. *)
     (experiment ~cold_ratio:10 ~saturated:true ~heap_mult:2 ~scale ())

@@ -7,11 +7,14 @@
 
     [runs] is the sample size per configuration (the paper uses 30; the
     default here is 5 to keep the full suite minutes-scale — raise it for
-    tighter intervals).  [scale] divides workload size. *)
+    tighter intervals).  [scale] divides workload size.  [jobs] fans the
+    sweep's (configuration, run) jobs across a {!Hcsgc_exec.Pool} of
+    domains (default 1 = in-process); results are aggregated in job order,
+    so the rendered figure is identical at any [jobs]. *)
 
-val fig4 : ?runs:int -> ?scale:int -> Format.formatter -> unit
-val fig5 : ?runs:int -> ?scale:int -> Format.formatter -> unit
-val fig6 : ?runs:int -> ?scale:int -> Format.formatter -> unit
+val fig4 : ?runs:int -> ?scale:int -> ?jobs:int -> Format.formatter -> unit
+val fig5 : ?runs:int -> ?scale:int -> ?jobs:int -> Format.formatter -> unit
+val fig6 : ?runs:int -> ?scale:int -> ?jobs:int -> Format.formatter -> unit
 
 val experiment :
   ?phases:int ->

@@ -2,6 +2,8 @@ module Vm = Hcsgc_runtime.Vm
 module Config = Hcsgc_core.Config
 module Gc_stats = Hcsgc_core.Gc_stats
 module H = Hcsgc_memsim.Hierarchy
+module Pool = Hcsgc_exec.Pool
+module Reporter = Hcsgc_exec.Reporter
 
 type run_metrics = {
   wall : float;
@@ -41,23 +43,68 @@ type experiment = {
   workload : Vm.t -> run:int -> unit;
 }
 
-let run_configs ?config_ids ?(progress = fun _ -> ()) ~runs exp =
+type job = { exp : experiment; config_id : int; run : int }
+
+let jobs_of ?config_ids ~runs exp =
   let ids =
     match config_ids with
     | Some ids -> ids
     | None -> List.map fst Config.table2
   in
-  List.map
-    (fun id ->
-      let config = Config.of_id id in
-      progress (Printf.sprintf "%s: config %d (%s)" exp.name id
-                  (Config.to_string config));
-      let samples =
-        Array.init runs (fun run ->
-            let vm = exp.make_vm config in
-            exp.workload vm ~run;
-            Vm.finish vm;
-            collect vm)
-      in
-      (id, samples))
+  List.concat_map
+    (fun id -> List.init runs (fun run -> { exp; config_id = id; run }))
     ids
+
+let execute { exp; config_id; run } =
+  let config = Config.of_id config_id in
+  let vm = exp.make_vm config in
+  exp.workload vm ~run;
+  Vm.finish vm;
+  collect vm
+
+(* Group a job-ordered flat metrics list back into per-configuration
+   arrays.  [jobs_of] emits [runs] consecutive jobs per id, so this is a
+   plain in-order split — no reordering, hence deterministic. *)
+let regroup ~ids ~runs metrics =
+  let rec split n = function
+    | rest when n = 0 -> ([], rest)
+    | [] -> invalid_arg "Runner.regroup: short metrics list"
+    | m :: rest ->
+        let chunk, rest = split (n - 1) rest in
+        (m :: chunk, rest)
+  in
+  let rec go ids metrics =
+    match ids with
+    | [] -> []
+    | id :: ids ->
+        let chunk, rest = split runs metrics in
+        (id, Array.of_list chunk) :: go ids rest
+  in
+  go ids metrics
+
+let run_configs ?config_ids ?(progress = fun _ -> ()) ?(jobs = 1) ~runs exp =
+  let ids =
+    match config_ids with
+    | Some ids -> ids
+    | None -> List.map fst Config.table2
+  in
+  let job_list = jobs_of ~config_ids:ids ~runs exp in
+  (* Progress lines go through a Reporter so concurrent workers cannot
+     interleave them mid-line; each configuration is announced once, by
+     whichever of its jobs starts first. *)
+  let reporter = Reporter.create ~emit:progress () in
+  let announced = Array.map (fun _ -> Atomic.make false) (Array.of_list ids) in
+  let index_of = Hashtbl.create 32 in
+  List.iteri (fun i id -> Hashtbl.replace index_of id i) ids;
+  let run_job job =
+    (match Hashtbl.find_opt index_of job.config_id with
+    | Some i when Atomic.compare_and_set announced.(i) false true ->
+        Reporter.sayf reporter "%s: config %d (%s)" job.exp.name job.config_id
+          (Config.to_string (Config.of_id job.config_id))
+    | _ -> ());
+    execute job
+  in
+  let metrics =
+    Pool.with_pool ~jobs (fun pool -> Pool.map_list pool run_job job_list)
+  in
+  regroup ~ids ~runs metrics

@@ -1,5 +1,14 @@
 (** Running a workload across Table 2's configurations, collecting the
-    metrics §4.2 plots: execution time, cache statistics and GC statistics. *)
+    metrics §4.2 plots: execution time, cache statistics and GC statistics.
+
+    Since the execution-engine refactor this module separates job
+    {e description} from job {e execution}: a sweep is first expanded into
+    an explicit list of {!job}s — one per (configuration, repetition) pair,
+    each independent and seed-deterministic — which then either run
+    in-process ([~jobs:1], the default) or fan out across a
+    {!Hcsgc_exec.Pool} of domains ([~jobs:n]).  Results are aggregated in
+    job order regardless of completion order, so parallel sweeps are
+    bit-identical to sequential ones. *)
 
 module Vm = Hcsgc_runtime.Vm
 module Config = Hcsgc_core.Config
@@ -27,13 +36,43 @@ type experiment = {
   workload : Vm.t -> run:int -> unit;  (** [run] indexes the repetition *)
 }
 
+type job = { exp : experiment; config_id : int; run : int }
+(** One unit of work: repetition [run] of [exp] under Table 2
+    configuration [config_id].  Jobs share nothing — {!execute} builds a
+    fresh VM — so any subset may run concurrently. *)
+
+val jobs_of : ?config_ids:int list -> runs:int -> experiment -> job list
+(** Expand a sweep into its jobs, in deterministic order: configurations
+    in the given order (default: all 19 of Table 2), repetitions 0..runs-1
+    within each. *)
+
+val execute : job -> run_metrics
+(** Run one job to completion: fresh VM, workload, {!Vm.finish},
+    {!collect}.  Pure function of the job (workloads are seeded by
+    [run]); safe to call from any domain. *)
+
 val run_configs :
   ?config_ids:int list ->
   ?progress:(string -> unit) ->
+  ?jobs:int ->
   runs:int ->
   experiment ->
   (int * run_metrics array) list
 (** Execute [runs] repetitions of the experiment under each requested
     Table 2 configuration (default: all 19).  Deterministic: repetition [i]
     uses the same workload seed under every configuration, mirroring the
-    paper's N VM invocations per configuration. *)
+    paper's N VM invocations per configuration.
+
+    [jobs] (default 1) sets the degree of parallelism.  [~jobs:1] runs
+    everything in-process on the calling domain, exactly as before the
+    engine existed.  [~jobs:n] distributes the (configuration, run) jobs
+    over [n] worker domains; results are still aggregated in job order,
+    so the returned metrics are bit-identical to the sequential run.
+
+    {b Thread safety of [progress]:} calls are serialized through a
+    {!Hcsgc_exec.Reporter}, so [progress] never runs concurrently with
+    itself and each message arrives whole — but under [~jobs:n] it is
+    invoked from worker domains in scheduling order, one message per
+    configuration (emitted by whichever of the configuration's jobs starts
+    first).  It must not assume it runs on the calling domain, and must
+    not itself call back into the runner. *)

@@ -2,7 +2,8 @@
 
 let () =
   Alcotest.run "hcsgc"
-    (Test_util.suite @ Test_memsim.suite @ Test_tlb.suite @ Test_heap.suite
+    (Test_util.suite @ Test_exec.suite @ Test_memsim.suite @ Test_tlb.suite
+   @ Test_heap.suite
    @ Test_stats.suite
    @ Test_core.suite @ Test_runtime.suite @ Test_multi_mutator.suite
    @ Test_graph.suite
