@@ -60,6 +60,45 @@ let gc_log_flag =
   let doc = "Print the structured GC event log after the run." in
   Arg.(value & flag & info [ "gc-log" ] ~doc)
 
+let trace_out =
+  let doc =
+    "Write a Chrome trace-event JSON profile of the run to $(docv) \
+     (load it in Perfetto or chrome://tracing), plus a CSV counter \
+     time-series and a plain-text summary next to it."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let trace_sample =
+  let doc = "Counter sampling interval in simulated cycles (with --trace-out)." in
+  Arg.(value & opt int 50_000 & info [ "trace-sample" ] ~docv:"N" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry artefacts                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Tel = Hcsgc_telemetry
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let sibling path ext = Filename.remove_extension path ^ ext
+
+(* One profiled run produces three artefacts: the trace itself, a CSV of
+   the counter samples, and a perf-report-style text summary (also echoed
+   to stdout). *)
+let emit_artifacts ~trace_out recorder =
+  let csv_path = sibling trace_out ".csv" in
+  let summary_path = sibling trace_out ".summary.txt" in
+  write_file trace_out (Tel.Chrome_trace.to_string recorder);
+  write_file csv_path (Tel.Csv_export.to_string recorder);
+  let summary = Tel.Summary.to_string recorder in
+  write_file summary_path summary;
+  Format.fprintf fmt "%s@." summary;
+  Format.fprintf fmt "wrote %s, %s, %s@." trace_out csv_path summary_path
+
 let report_single vm =
   let st = Vm.gc_stats vm in
   let c = Vm.counters vm in
@@ -81,8 +120,11 @@ let report_single vm =
   Format.fprintf fmt "cache (mutator only):  loads=%d l1m=%d llcm=%d@."
     mc.H.loads mc.H.l1_misses mc.H.llc_misses
 
-let run_experiment ~all ~runs ~jobs ~config_id (exp : E.Runner.experiment) =
-  if all then
+let run_experiment ?trace_out ?(trace_sample = 50_000) ~all ~runs ~jobs
+    ~config_id (exp : E.Runner.experiment) =
+  if all then begin
+    if trace_out <> None then
+      Format.eprintf "[run] --trace-out ignored with --all-configs@.";
     let results =
       E.Runner.run_configs ~runs ~jobs
         ~progress:(fun m -> Format.eprintf "[run] %s@." m)
@@ -91,14 +133,24 @@ let run_experiment ~all ~runs ~jobs ~config_id (exp : E.Runner.experiment) =
     E.Report.figure fmt ~title:exp.E.Runner.name
       ~expectation:"(ad-hoc sweep; see bench/main.exe for paper figures)"
       results
+  end
   else begin
     let config = Config.of_id config_id in
     Format.fprintf fmt "workload %s under config %d (%s)@." exp.E.Runner.name
       config_id (Config.to_string config);
     let vm = exp.E.Runner.make_vm config in
+    let recorder =
+      match trace_out with
+      | None -> None
+      | Some _ ->
+          Some (Vm.enable_telemetry ~sample_interval:trace_sample vm)
+    in
     exp.E.Runner.workload vm ~run:0;
     Vm.finish vm;
-    report_single vm
+    report_single vm;
+    match (trace_out, recorder) with
+    | Some path, Some recorder -> emit_artifacts ~trace_out:path recorder
+    | _ -> ()
   end
 
 (* ------------------------------------------------------------------ *)
@@ -118,18 +170,19 @@ let synthetic_cmd =
     Arg.(value & opt int 0 & info [ "cold-ratio" ] ~docv:"R"
            ~doc:"Never-accessed cold elements per hot element (Fig. 6 uses 10).")
   in
-  let run config_id all runs jobs scale saturated _seed elements phases cold_ratio =
+  let run config_id all runs jobs scale saturated _seed elements phases
+      cold_ratio trace_out trace_sample =
     let scale = max 1 (scale * (100_000 / max 1 elements)) in
     let exp =
       E.Fig_synthetic.experiment ~phases ~cold_ratio ~saturated ~scale ()
     in
-    run_experiment ~all ~runs ~jobs ~config_id exp
+    run_experiment ?trace_out ~trace_sample ~all ~runs ~jobs ~config_id exp
   in
   Cmd.v
     (Cmd.info "synthetic" ~doc:"The paper's synthetic micro-benchmark (§4.4)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed $ elements $ phases $ cold_ratio)
+      $ seed $ elements $ phases $ cold_ratio $ trace_out $ trace_sample)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)
@@ -162,7 +215,8 @@ let graph_cmd =
         & opt (conv (parse, print)) `Uk
         & info [ "dataset" ] ~docv:"uk|enwiki" ~doc:"Table 3 input (generator stand-in).")
   in
-  let run config_id all runs jobs scale _saturated _seed algo dataset =
+  let run config_id all runs jobs scale _saturated _seed algo dataset trace_out
+      trace_sample =
     let module D = Hcsgc_graph.Dataset in
     let exp =
       match (algo, dataset) with
@@ -174,31 +228,32 @@ let graph_cmd =
       | `Mc, `Enwiki ->
           E.Fig_graph.mc_experiment ~dataset:D.enwiki_mc ~scale:(2 * scale) ()
     in
-    run_experiment ~all ~runs ~jobs ~config_id exp
+    run_experiment ?trace_out ~trace_sample ~all ~runs ~jobs ~config_id exp
   in
   Cmd.v
     (Cmd.info "graph" ~doc:"JGraphT-style graph workloads (§4.5)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed $ algo $ dataset)
+      $ seed $ algo $ dataset $ trace_out $ trace_sample)
 
 (* ------------------------------------------------------------------ *)
 (* h2 / tradebeans / specjbb                                           *)
 (* ------------------------------------------------------------------ *)
 
 let h2_cmd =
-  let run config_id all runs jobs scale _ _ =
-    run_experiment ~all ~runs ~jobs ~config_id (E.Fig_dacapo.h2_experiment ~scale)
+  let run config_id all runs jobs scale _ _ trace_out trace_sample =
+    run_experiment ?trace_out ~trace_sample ~all ~runs ~jobs ~config_id
+      (E.Fig_dacapo.h2_experiment ~scale)
   in
   Cmd.v
     (Cmd.info "h2" ~doc:"In-memory-database workload (DaCapo h2 stand-in, §4.6)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed)
+      $ seed $ trace_out $ trace_sample)
 
 let tradebeans_cmd =
-  let run config_id all runs jobs scale _ _ =
-    run_experiment ~all ~runs ~jobs ~config_id
+  let run config_id all runs jobs scale _ _ trace_out trace_sample =
+    run_experiment ?trace_out ~trace_sample ~all ~runs ~jobs ~config_id
       (E.Fig_dacapo.tradebeans_experiment ~scale)
   in
   Cmd.v
@@ -206,7 +261,7 @@ let tradebeans_cmd =
        ~doc:"Trading-session workload (DaCapo tradebeans stand-in, §4.6)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed)
+      $ seed $ trace_out $ trace_sample)
 
 let specjbb_cmd =
   let run config_id _all _runs scale _ seed =
@@ -263,6 +318,71 @@ let lru_cmd =
     Term.(const run $ config_id $ gc_log_flag $ seed)
 
 (* ------------------------------------------------------------------ *)
+(* profile: one (experiment, config) pair with full telemetry          *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let exp_names =
+    [ "f4"; "f5"; "f6"; "cc-uk"; "cc-enwiki"; "mc-uk"; "mc-enwiki"; "h2";
+      "tradebeans" ]
+  in
+  let exp_arg =
+    let doc =
+      Printf.sprintf "Experiment to profile: %s."
+        (String.concat ", " exp_names)
+    in
+    Arg.(value & opt string "f4" & info [ "exp" ] ~docv:"NAME" ~doc)
+  in
+  let experiment_of ~scale name =
+    let module D = Hcsgc_graph.Dataset in
+    match name with
+    | "f4" -> Some (E.Fig_synthetic.experiment ~scale ())
+    | "f5" -> Some (E.Fig_synthetic.experiment ~phases:3 ~scale ())
+    | "f6" ->
+        Some
+          (E.Fig_synthetic.experiment ~cold_ratio:10 ~saturated:true
+             ~heap_mult:2 ~scale ())
+    | "cc-uk" -> Some (E.Fig_graph.cc_experiment ~dataset:D.uk_cc ~scale:(4 * scale))
+    | "cc-enwiki" ->
+        Some (E.Fig_graph.cc_experiment ~dataset:D.enwiki_cc ~scale:(4 * scale))
+    | "mc-uk" -> Some (E.Fig_graph.mc_experiment ~dataset:D.uk_mc ~scale:(2 * scale) ())
+    | "mc-enwiki" ->
+        Some (E.Fig_graph.mc_experiment ~dataset:D.enwiki_mc ~scale:(2 * scale) ())
+    | "h2" -> Some (E.Fig_dacapo.h2_experiment ~scale)
+    | "tradebeans" -> Some (E.Fig_dacapo.tradebeans_experiment ~scale)
+    | _ -> None
+  in
+  let run config_id scale exp_name trace_out trace_sample seed =
+    match experiment_of ~scale exp_name with
+    | None ->
+        Format.eprintf "unknown experiment %S (expected one of: %s)@." exp_name
+          (String.concat ", " exp_names);
+        exit 2
+    | Some exp ->
+        let trace_out = Option.value trace_out ~default:"trace.json" in
+        Format.fprintf fmt "profiling %s under config %d (%s)@."
+          exp.E.Runner.name config_id
+          (Config.to_string (Config.of_id config_id));
+        let job = { E.Runner.exp; config_id; run = seed } in
+        let metrics, recorder =
+          E.Runner.profile ~sample_interval:trace_sample job
+        in
+        Format.fprintf fmt "execution time: %.0f cycles, %d GC cycles@."
+          metrics.E.Runner.wall metrics.E.Runner.gc_cycle_count;
+        emit_artifacts ~trace_out recorder
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile one (experiment, configuration) pair: run it once with \
+          telemetry attached and emit a Chrome trace-event JSON file, a CSV \
+          counter time-series and a text summary (pause percentiles, MMU, \
+          relocation attribution)")
+    Term.(
+      const run $ config_id $ scale $ exp_arg $ trace_out $ trace_sample
+      $ seed)
+
+(* ------------------------------------------------------------------ *)
 (* figure: delegate to the bench registry                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -308,4 +428,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ synthetic_cmd; graph_cmd; h2_cmd; tradebeans_cmd; specjbb_cmd;
-            lru_cmd; figure_cmd ]))
+            lru_cmd; profile_cmd; figure_cmd ]))

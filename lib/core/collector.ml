@@ -31,7 +31,7 @@ type t = {
   gc_core : int;
   roots : unit -> Heap_obj.t list;
   stats : Gc_stats.t;
-  listener : Gc_log.event -> unit;
+  mutable sink : Gc_log.sink;
   mutable marked_at_cycle_start : int;
   mutable good : Addr.color;
   mutable mark_color : Addr.color;  (* the M0/M1 colour of the current cycle *)
@@ -67,8 +67,8 @@ type t = {
   mutable allocated_since_cycle : int;
 }
 
-let create ?(listener = fun (_ : Gc_log.event) -> ()) ~heap ~machine ~config
-    ~gc_core ~roots () =
+let create ?(sink = Gc_log.null_sink) ~heap ~machine ~config ~gc_core ~roots
+    () =
   (match Config.validate config with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Collector.create: " ^ msg));
@@ -79,7 +79,7 @@ let create ?(listener = fun (_ : Gc_log.event) -> ()) ~heap ~machine ~config
     gc_core;
     roots;
     stats = Gc_stats.create ();
-    listener;
+    sink;
     marked_at_cycle_start = 0;
     good = Addr.M1;
     mark_color = Addr.M1;
@@ -104,6 +104,7 @@ let create ?(listener = fun (_ : Gc_log.event) -> ()) ~heap ~machine ~config
 
 let heap t = t.heap
 let config t = t.config
+let set_sink t sink = t.sink <- sink
 let stats t = t.stats
 let phase t = t.phase
 let good_color t = t.good
@@ -322,6 +323,7 @@ let use_handle t ~core (obj : Heap_obj.t) =
   let page = page_of_obj t obj in
   let cost = ref 0 in
   let relocated = page.Page.state = Page.In_ec in
+  Gc_stats.on_barrier t.stats ~slow:relocated;
   let page =
     if relocated then begin
       cost := !cost + relocate t ~who:(Mutator core) obj page;
@@ -351,6 +353,7 @@ let load_ref t ~core (src : Heap_obj.t) ~slot =
   let ptr = Heap_obj.get_ref src slot in
   if Addr.is_null ptr then (None, !cost)
   else if Addr.has_color t.good ptr then begin
+    Gc_stats.on_barrier t.stats ~slow:false;
     (* Fast path: the good colour guarantees a current, to-space address. *)
     match Heap.obj_at t.heap (Addr.addr ptr) with
     | Some obj -> (Some obj, !cost)
@@ -362,6 +365,7 @@ let load_ref t ~core (src : Heap_obj.t) ~slot =
   end
   else begin
     (* Slow path: remap / mark / relocate, flag hotness, self-heal. *)
+    Gc_stats.on_barrier t.stats ~slow:true;
     cost := !cost + Cost.barrier_slow;
     let obj = resolve t ~who:(Mutator core) ~cost (Addr.addr ptr) in
     if t.phase = Marking then cost := !cost + mark_object t obj;
@@ -461,7 +465,7 @@ let start_cycle t =
   t.cycle_no <- t.cycle_no + 1;
   t.allocated_since_cycle <- 0;
   t.marked_at_cycle_start <- Gc_stats.objects_marked t.stats;
-  t.listener
+  t.sink
     (Gc_log.Cycle_start
        { cycle = t.cycle_no; wall = t.wall_hint;
          heap_used = Heap.used_bytes t.heap });
@@ -491,8 +495,10 @@ let start_cycle t =
       cost := !cost + mark_object t root)
     roots;
   t.phase <- Marking;
-  t.listener
-    (Gc_log.Pause { cycle = t.cycle_no; pause = Gc_log.STW1; cost = !cost });
+  t.sink
+    (Gc_log.Pause
+       { cycle = t.cycle_no; pause = Gc_log.STW1; cost = !cost;
+         wall = t.wall_hint });
   sample_heap t;
   { gc = 0; stw = !cost }
 
@@ -609,14 +615,16 @@ let finish_mark t =
   assert (Vec.is_empty t.mark_stack);
   Gc_stats.on_stw t.stats;
   Gc_stats.on_stw t.stats;
-  t.listener
+  t.sink
     (Gc_log.Pause
-       { cycle = t.cycle_no; pause = Gc_log.STW2; cost = Cost.stw_pause });
-  t.listener
+       { cycle = t.cycle_no; pause = Gc_log.STW2; cost = Cost.stw_pause;
+         wall = t.wall_hint });
+  t.sink
     (Gc_log.Mark_end
        { cycle = t.cycle_no;
          marked_objects =
-           Gc_stats.objects_marked t.stats - t.marked_at_cycle_start });
+           Gc_stats.objects_marked t.stats - t.marked_at_cycle_start;
+         wall = t.wall_hint });
   let cost = ref (2 * Cost.stw_pause) in
   (* Retire forwarding tables installed before this cycle: marking has
      remapped every live pointer into them, so their address ranges can be
@@ -649,10 +657,10 @@ let finish_mark t =
   cost := !cost + small_cost + medium_cost;
   Gc_stats.on_ec_selected t.stats ~small:(List.length small)
     ~medium:(List.length medium);
-  t.listener
+  t.sink
     (Gc_log.Ec_selected
        { cycle = t.cycle_no; small = List.length small;
-         medium = List.length medium });
+         medium = List.length medium; wall = t.wall_hint });
   (* STW3: flip good colour to R; relocate roots pointing into EC. *)
   t.good <- Addr.R;
   List.iter
@@ -663,18 +671,19 @@ let finish_mark t =
         cost := !cost + relocate t ~who:Gc root page)
     (t.roots ());
   let ec = small @ medium in
-  t.listener
+  t.sink
     (Gc_log.Pause
-       { cycle = t.cycle_no; pause = Gc_log.STW3; cost = Cost.stw_pause });
+       { cycle = t.cycle_no; pause = Gc_log.STW3; cost = Cost.stw_pause;
+         wall = t.wall_hint });
   if t.config.Config.lazy_relocate then begin
     (* Fig. 3: hand the whole relocation set to the mutators until the next
        cycle starts. *)
     List.iter (fun p -> Vec.push t.pending_ec p) ec;
-    t.listener
+    t.sink
       (Gc_log.Relocation_deferred
-         { cycle = t.cycle_no; pages = List.length ec });
+         { cycle = t.cycle_no; pages = List.length ec; wall = t.wall_hint });
     t.phase <- Idle;
-    t.listener
+    t.sink
       (Gc_log.Cycle_end
          { cycle = t.cycle_no; wall = t.wall_hint;
            heap_used = Heap.used_bytes t.heap });
@@ -689,9 +698,10 @@ let finish_mark t =
 (* Free a fully evacuated page and keep its forwarding table reachable for
    stale-pointer remapping until retirement. *)
 let release_page t (page : Page.t) =
-  t.listener
+  t.sink
     (Gc_log.Page_freed
-       { cycle = t.cycle_no; page_id = page.Page.id; bytes = page.Page.size });
+       { cycle = t.cycle_no; page_id = page.Page.id; bytes = page.Page.size;
+         wall = t.wall_hint });
   Heap.free_page t.heap page;
   let granule_bytes = Layout.granule (layout t) in
   let first = page.Page.start / granule_bytes in
@@ -747,7 +757,7 @@ let gc_work t ~budget =
       | Relocating ->
           (* Queue drained and no page in progress: the cycle is done. *)
           t.phase <- Idle;
-          t.listener
+          t.sink
             (Gc_log.Cycle_end
                { cycle = t.cycle_no; wall = t.wall_hint;
                  heap_used = Heap.used_bytes t.heap });

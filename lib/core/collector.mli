@@ -44,7 +44,7 @@ exception Invalid_handle of string
     reclaimed — i.e. the workload broke the rooting discipline. *)
 
 val create :
-  ?listener:(Gc_log.event -> unit) ->
+  ?sink:Gc_log.sink ->
   heap:Heap.t ->
   machine:Machine.t ->
   config:Config.t ->
@@ -52,8 +52,14 @@ val create :
   roots:(unit -> Heap_obj.t list) ->
   unit ->
   t
-(** [listener] receives structured GC events ({!Gc_log}); defaults to a
-    no-op. *)
+(** [sink] receives structured GC events ({!Gc_log}); defaults to
+    {!Gc_log.null_sink}.  Fan out to several consumers (event log,
+    telemetry, ...) with {!Gc_log.tee}. *)
+
+val set_sink : t -> Gc_log.sink -> unit
+(** Replace the event sink.  Lets instrumentation (e.g.
+    {!Hcsgc_telemetry}) attach to a collector after creation; recording
+    costs zero simulated cycles either way. *)
 
 val heap : t -> Heap.t
 val config : t -> Config.t

@@ -2,12 +2,18 @@ type pause = STW1 | STW2 | STW3
 
 type event =
   | Cycle_start of { cycle : int; wall : int; heap_used : int }
-  | Pause of { cycle : int; pause : pause; cost : int }
-  | Mark_end of { cycle : int; marked_objects : int }
-  | Ec_selected of { cycle : int; small : int; medium : int }
-  | Relocation_deferred of { cycle : int; pages : int }
-  | Page_freed of { cycle : int; page_id : int; bytes : int }
+  | Pause of { cycle : int; pause : pause; cost : int; wall : int }
+  | Mark_end of { cycle : int; marked_objects : int; wall : int }
+  | Ec_selected of { cycle : int; small : int; medium : int; wall : int }
+  | Relocation_deferred of { cycle : int; pages : int; wall : int }
+  | Page_freed of { cycle : int; page_id : int; bytes : int; wall : int }
   | Cycle_end of { cycle : int; wall : int; heap_used : int }
+
+type sink = event -> unit
+
+let null_sink (_ : event) = ()
+
+let tee sinks event = List.iter (fun sink -> sink event) sinks
 
 type recorder = {
   buf : event option array;
@@ -24,6 +30,8 @@ let listen r event =
   r.next <- (r.next + 1) mod Array.length r.buf;
   r.total <- r.total + 1
 
+let sink_of_recorder r = listen r
+
 let events r =
   let cap = Array.length r.buf in
   let out = ref [] in
@@ -35,6 +43,8 @@ let events r =
   List.rev !out
 
 let count r = r.total
+
+let dropped r = max 0 (r.total - Array.length r.buf)
 
 let clear r =
   Array.fill r.buf 0 (Array.length r.buf) None;
@@ -50,20 +60,20 @@ let pp_event fmt = function
   | Cycle_start { cycle; wall; heap_used } ->
       Format.fprintf fmt "[gc] GC(%d) Garbage Collection start (wall=%d used=%dK)"
         cycle wall (heap_used / 1024)
-  | Pause { cycle; pause; cost } ->
+  | Pause { cycle; pause; cost; wall = _ } ->
       Format.fprintf fmt "[gc] GC(%d) %s %dc" cycle (pause_name pause) cost
-  | Mark_end { cycle; marked_objects } ->
+  | Mark_end { cycle; marked_objects; wall = _ } ->
       Format.fprintf fmt "[gc] GC(%d) Concurrent Mark end: %d objects" cycle
         marked_objects
-  | Ec_selected { cycle; small; medium } ->
+  | Ec_selected { cycle; small; medium; wall = _ } ->
       Format.fprintf fmt
         "[gc] GC(%d) Relocation Set: %d small, %d medium pages" cycle small
         medium
-  | Relocation_deferred { cycle; pages } ->
+  | Relocation_deferred { cycle; pages; wall = _ } ->
       Format.fprintf fmt
         "[gc] GC(%d) Relocation deferred to next cycle (%d pages, lazy)" cycle
         pages
-  | Page_freed { cycle; page_id; bytes } ->
+  | Page_freed { cycle; page_id; bytes; wall = _ } ->
       Format.fprintf fmt "[gc] GC(%d) Page freed: #%d (%dK)" cycle page_id
         (bytes / 1024)
   | Cycle_end { cycle; wall; heap_used } ->
@@ -71,4 +81,7 @@ let pp_event fmt = function
         cycle wall (heap_used / 1024)
 
 let pp fmt r =
+  if dropped r > 0 then
+    Format.fprintf fmt "[gc] ... %d older events dropped (buffer capacity %d)@."
+      (dropped r) (Array.length r.buf);
   List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events r)

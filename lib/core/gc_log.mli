@@ -1,22 +1,38 @@
 (** Structured GC event log — the analogue of ZGC's [-Xlog:gc*] output,
     which the paper extends to report per-cycle EC sizes (§4.2).
 
-    The collector emits events through an optional listener; this module
+    The collector emits events through an optional {!sink}; this module
     provides the event type, a bounded in-memory recorder, and ZGC-style
-    one-line rendering.  Recording is off unless a listener is installed,
-    so the default fast path pays nothing. *)
+    one-line rendering.  Recording is off unless a sink is installed, so
+    the default fast path pays nothing.
+
+    Every event carries [wall], the simulated wall clock at emission (the
+    collector's latest {!Collector.set_wall_hint}), so downstream consumers
+    — notably {!Hcsgc_telemetry} — can place events on a timeline without a
+    second callback channel. *)
 
 type pause = STW1 | STW2 | STW3
 
 type event =
   | Cycle_start of { cycle : int; wall : int; heap_used : int }
-  | Pause of { cycle : int; pause : pause; cost : int }
-  | Mark_end of { cycle : int; marked_objects : int }
-  | Ec_selected of { cycle : int; small : int; medium : int }
-  | Relocation_deferred of { cycle : int; pages : int }
+  | Pause of { cycle : int; pause : pause; cost : int; wall : int }
+  | Mark_end of { cycle : int; marked_objects : int; wall : int }
+  | Ec_selected of { cycle : int; small : int; medium : int; wall : int }
+  | Relocation_deferred of { cycle : int; pages : int; wall : int }
       (** LAZYRELOCATE handed the evacuation set to the mutators. *)
-  | Page_freed of { cycle : int; page_id : int; bytes : int }
+  | Page_freed of { cycle : int; page_id : int; bytes : int; wall : int }
   | Cycle_end of { cycle : int; wall : int; heap_used : int }
+
+type sink = event -> unit
+(** What {!Collector.create} consumes: one callback, however many
+    consumers.  Compose consumers with {!tee} rather than growing the
+    collector a second optional callback. *)
+
+val null_sink : sink
+(** Drops every event (the collector's default). *)
+
+val tee : sink list -> sink
+(** Fan one event stream out to several sinks, called in list order. *)
 
 type recorder
 
@@ -25,18 +41,32 @@ val recorder : ?capacity:int -> unit -> recorder
     dropped first). *)
 
 val listen : recorder -> event -> unit
-(** The listener to hand to {!Collector.create}. *)
+(** Record one event; the oldest event is dropped when full. *)
+
+val sink_of_recorder : recorder -> sink
+(** [listen] partially applied — the sink to hand to {!Collector.create}
+    (directly, or through {!tee}). *)
 
 val events : recorder -> event list
-(** Recorded events, oldest first. *)
+(** Recorded events, oldest surviving first. *)
 
 val count : recorder -> int
-(** Events recorded (including any that were dropped). *)
+(** Total events ever recorded — {b including} events that have since been
+    dropped from the bounded buffer, so [count r] may exceed
+    [List.length (events r)].  Use {!dropped} for the difference. *)
+
+val dropped : recorder -> int
+(** Events evicted from the buffer so far ([count] minus the events still
+    retrievable via {!events}). *)
 
 val clear : recorder -> unit
+
+val pause_name : pause -> string
+(** ZGC's pause names: ["Pause Mark Start"] etc. *)
 
 val pp_event : Format.formatter -> event -> unit
 (** One line per event, ZGC-log style: ["[gc] GC(3) Pause Mark Start 20000c"]. *)
 
 val pp : Format.formatter -> recorder -> unit
-(** Render every recorded event. *)
+(** Render every recorded event; when events were dropped, a leading line
+    notes the truncation. *)

@@ -17,6 +17,8 @@ type t = {
   mutable marked : int;
   mutable hot_flags : int;
   mutable stw : int;
+  mutable barrier_fast : int;
+  mutable barrier_slow : int;
   samples : (int * int) Vec.t;
 }
 
@@ -31,6 +33,8 @@ let create () =
     marked = 0;
     hot_flags = 0;
     stw = 0;
+    barrier_fast = 0;
+    barrier_slow = 0;
     samples = Vec.create ();
   }
 
@@ -58,6 +62,10 @@ let on_page_freed t = t.pages_freed <- t.pages_freed + 1
 let on_mark t = t.marked <- t.marked + 1
 let on_hot_flag t = t.hot_flags <- t.hot_flags + 1
 let on_stw t = t.stw <- t.stw + 1
+
+let on_barrier t ~slow =
+  if slow then t.barrier_slow <- t.barrier_slow + 1
+  else t.barrier_fast <- t.barrier_fast + 1
 let on_heap_sample t ~wall ~used = Vec.push t.samples (wall, used)
 
 let cycles t = Vec.length t.records
@@ -84,6 +92,8 @@ let pages_freed t = t.pages_freed
 let objects_marked t = t.marked
 let hot_flags t = t.hot_flags
 let stw_pauses t = t.stw
+let barrier_fast_paths t = t.barrier_fast
+let barrier_slow_paths t = t.barrier_slow
 let heap_samples t = Vec.to_list t.samples
 
 let pp fmt t =

@@ -30,6 +30,11 @@ val on_hot_flag : t -> unit
 val on_stw : t -> unit
 val on_heap_sample : t -> wall:int -> used:int -> unit
 
+val on_barrier : t -> slow:bool -> unit
+(** Record a mutator barrier execution (handle or load barrier): [slow]
+    when the slow path ran (bad colour, or the object sat on an in-EC
+    page).  Feeds the telemetry counter samples. *)
+
 val cycles : t -> int
 (** Completed-or-started GC cycles. *)
 
@@ -50,6 +55,12 @@ val pages_freed : t -> int
 val objects_marked : t -> int
 val hot_flags : t -> int
 val stw_pauses : t -> int
+
+val barrier_fast_paths : t -> int
+(** Mutator barriers that stayed on the no-extra-work fast path. *)
+
+val barrier_slow_paths : t -> int
+(** Mutator barriers that took the slow path (remap / mark / relocate). *)
 
 val heap_samples : t -> (int * int) list
 (** [(wall, used_bytes)] samples, oldest first. *)

@@ -62,6 +62,14 @@ let execute { exp; config_id; run } =
   Vm.finish vm;
   collect vm
 
+let profile ?sample_interval { exp; config_id; run } =
+  let config = Config.of_id config_id in
+  let vm = exp.make_vm config in
+  let recorder = Vm.enable_telemetry ?sample_interval vm in
+  exp.workload vm ~run;
+  Vm.finish vm;
+  (collect vm, recorder)
+
 (* Group a job-ordered flat metrics list back into per-configuration
    arrays.  [jobs_of] emits [runs] consecutive jobs per id, so this is a
    plain in-order split — no reordering, hence deterministic. *)

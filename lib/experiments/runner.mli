@@ -51,6 +51,15 @@ val execute : job -> run_metrics
     {!collect}.  Pure function of the job (workloads are seeded by
     [run]); safe to call from any domain. *)
 
+val profile : ?sample_interval:int -> job -> run_metrics * Hcsgc_telemetry.Recorder.t
+(** {!execute} with telemetry attached ({!Vm.enable_telemetry}):
+    additionally returns the job's span/counter recorder, ready for the
+    {!Hcsgc_telemetry} exporters.  Telemetry charges no simulated cycles,
+    so the metrics equal an unprofiled {!execute} of the same job; the
+    recorder is domain-local, so profiled jobs may be fanned across a
+    {!Hcsgc_exec.Pool} and still produce byte-identical traces at any
+    [--jobs] setting. *)
+
 val run_configs :
   ?config_ids:int list ->
   ?progress:(string -> unit) ->

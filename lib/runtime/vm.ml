@@ -1,6 +1,8 @@
 module Heap = Hcsgc_heap.Heap
 module Heap_obj = Hcsgc_heap.Heap_obj
+module Page = Hcsgc_heap.Page
 module Layout = Hcsgc_heap.Layout
+module Recorder = Hcsgc_telemetry.Recorder
 module Machine = Hcsgc_memsim.Machine
 module Collector = Hcsgc_core.Collector
 module Config = Hcsgc_core.Config
@@ -33,6 +35,12 @@ type t = {
   mutable tuner_loads : int;
   mutable tuner_misses : int;
   recorder : Hcsgc_core.Gc_log.recorder option;
+  (* Telemetry (hcsgc.telemetry): off unless enable_telemetry installed a
+     recorder.  Recording charges no simulated cycles, so instrumented and
+     plain runs have identical clocks. *)
+  mutable telemetry : Recorder.t option;
+  mutable trace_sample : int;  (* wall cycles between counter samples *)
+  mutable next_sample : int;
 }
 
 let mutator_core = 0
@@ -63,12 +71,10 @@ let create ?layout ?machine_config ?(saturated = false) ?(gc_share = 1.0)
   let locals = Vec.create () in
   let root_fn () = Vec.to_list roots @ Vec.to_list locals in
   let collector =
-    let listener =
-      match recorder with
-      | Some r -> Some (Hcsgc_core.Gc_log.listen r)
-      | None -> None
+    let sink =
+      Option.map Hcsgc_core.Gc_log.sink_of_recorder recorder
     in
-    Collector.create ?listener ~heap ~machine ~config
+    Collector.create ?sink ~heap ~machine ~config
       ~gc_core:(if saturated then 0 else mutators)
       ~roots:root_fn ()
   in
@@ -95,6 +101,9 @@ let create ?layout ?machine_config ?(saturated = false) ?(gc_share = 1.0)
     tuner_loads = 0;
     tuner_misses = 0;
     recorder;
+    telemetry = None;
+    trace_sample = 0;
+    next_sample = 0;
   }
 
 let check_m t m =
@@ -136,6 +145,44 @@ let autotune_step t =
         end
       end
 
+(* Telemetry counter sample: a snapshot of machine counters, heap usage and
+   GC attribution at the current wall clock.  Reads only — never charges
+   simulated cycles, never touches the cache simulator. *)
+let take_sample t =
+  match t.telemetry with
+  | None -> ()
+  | Some r ->
+      let module H = Hcsgc_memsim.Hierarchy in
+      let c = Machine.counters t.machine in
+      let st = Collector.stats t.collector in
+      let hot = ref 0 in
+      Heap.iter_pages t.heap (fun p -> hot := !hot + p.Page.hot_bytes);
+      Recorder.sample r
+        {
+          Recorder.wall = wall_cycles t;
+          heap_used = Heap.used_bytes t.heap;
+          hot_bytes = !hot;
+          loads = c.H.loads;
+          stores = c.H.stores;
+          l1_misses = c.H.l1_misses;
+          l2_misses = c.H.l2_misses;
+          llc_misses = c.H.llc_misses;
+          barrier_fast = Gc_stats.barrier_fast_paths st;
+          barrier_slow = Gc_stats.barrier_slow_paths st;
+          reloc_mutator = Gc_stats.objects_relocated_by_mutator st;
+          reloc_gc = Gc_stats.objects_relocated_by_gc st;
+          reloc_bytes = Gc_stats.bytes_relocated st;
+        }
+
+let maybe_sample t =
+  match t.telemetry with
+  | None -> ()
+  | Some _ ->
+      if wall_cycles t >= t.next_sample then begin
+        t.next_sample <- wall_cycles t + t.trace_sample;
+        take_sample t
+      end
+
 (* Give GC threads CPU time proportional to the mutator cycles elapsed. *)
 let pump t =
   let budget = int_of_float (float_of_int t.credit *. t.gc_share) in
@@ -145,7 +192,8 @@ let pump t =
     absorb_work t (Collector.start_cycle t.collector);
   if Collector.in_cycle t.collector then
     absorb_work t (Collector.gc_work t.collector ~budget);
-  autotune_step t
+  autotune_step t;
+  maybe_sample t
 
 let charge ?(m = 0) t cost =
   t.mut_clock.(m) <- t.mut_clock.(m) + cost + Cost.op_base;
@@ -303,6 +351,56 @@ let autotuned_cold_confidence t =
   Option.map Hcsgc_core.Autotuner.cold_confidence t.tuner
 
 let gc_log t = t.recorder
+
+let enable_telemetry ?(sample_interval = 50_000) t =
+  if sample_interval <= 0 then
+    invalid_arg "Vm.enable_telemetry: sample_interval must be positive";
+  match t.telemetry with
+  | Some r -> r
+  | None ->
+      let r = Recorder.create () in
+      t.telemetry <- Some r;
+      t.trace_sample <- sample_interval;
+      t.next_sample <- sample_interval;
+      (* One sink for everything: the Gc_log recorder (if any) and the
+         telemetry translation share the collector's event stream.  Extra
+         counter samples are forced at cycle boundaries so per-cycle deltas
+         (relocation attribution, heap growth) are exact. *)
+      let module Gc_log = Hcsgc_core.Gc_log in
+      let tele event =
+        Recorder.on_gc_event r event;
+        match event with
+        | Gc_log.Cycle_start _ | Gc_log.Cycle_end _ -> take_sample t
+        | _ -> ()
+      in
+      let sinks =
+        match t.recorder with
+        | Some gr -> [ Gc_log.sink_of_recorder gr; tele ]
+        | None -> [ tele ]
+      in
+      Collector.set_sink t.collector (Gc_log.tee sinks);
+      take_sample t;
+      r
+
+let telemetry t = t.telemetry
+
+let span_begin ?(m = 0) t name =
+  check_m t m;
+  match t.telemetry with
+  | None -> ()
+  | Some r ->
+      Recorder.begin_span r (Recorder.Mutator m) ~name ~wall:(wall_cycles t)
+
+let span_end ?(m = 0) t =
+  check_m t m;
+  match t.telemetry with
+  | None -> ()
+  | Some r -> Recorder.end_span r (Recorder.Mutator m) ~wall:(wall_cycles t)
+
+let with_span ?(m = 0) t name f =
+  span_begin ~m t name;
+  Fun.protect ~finally:(fun () -> span_end ~m t) f
+
 let gc_stats t = Collector.stats t.collector
 let heap t = t.heap
 let collector t = t.collector
@@ -311,7 +409,12 @@ let config t = Collector.config t.collector
 let finish t =
   Collector.set_wall_hint t.collector (wall_cycles t);
   if Collector.in_cycle t.collector then
-    absorb_work t (Collector.gc_work t.collector ~budget:max_int)
+    absorb_work t (Collector.gc_work t.collector ~budget:max_int);
+  match t.telemetry with
+  | None -> ()
+  | Some r ->
+      Recorder.close_all r ~wall:(wall_cycles t);
+      take_sample t
 
 let full_gc t =
   let charge (w : Collector.work) =

@@ -86,6 +86,34 @@ val work : ?m:int -> t -> int -> unit
 val safepoint : t -> unit
 (** Explicit safepoint: give the collector a chance to start/advance. *)
 
+(** {2 Telemetry}
+
+    The {!Hcsgc_telemetry} integration: an optional recorder of spans and
+    counter samples on the simulated clock.  Recording is pure
+    observation — it charges no simulated cycles and touches no simulated
+    caches, so an instrumented run's clocks, GC schedule and statistics
+    are identical to an uninstrumented one. *)
+
+val enable_telemetry :
+  ?sample_interval:int -> t -> Hcsgc_telemetry.Recorder.t
+(** Attach a telemetry recorder (idempotent — returns the existing one on
+    a second call).  GC events are translated onto the recorder's GC
+    track through the same {!Hcsgc_core.Gc_log.sink} the event log uses;
+    machine counters are sampled every [sample_interval] wall cycles
+    (default 50000) plus once at every GC cycle boundary, so per-cycle
+    deltas are exact. *)
+
+val telemetry : t -> Hcsgc_telemetry.Recorder.t option
+
+val span_begin : ?m:int -> t -> string -> unit
+(** Open a workload span on mutator [m]'s track (e.g. a benchmark phase).
+    No-op without telemetry. *)
+
+val span_end : ?m:int -> t -> unit
+
+val with_span : ?m:int -> t -> string -> (unit -> 'a) -> 'a
+(** Run the callback inside a span (closed on exceptions too). *)
+
 (** {2 Roots} *)
 
 val add_root : t -> Heap_obj.t -> unit

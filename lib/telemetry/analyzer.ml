@@ -1,0 +1,144 @@
+type pause_stats = {
+  count : int;
+  total : int;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+  max : int;
+}
+
+let percentile xs ~pct =
+  if xs = [] then invalid_arg "Analyzer.percentile: empty list";
+  if pct <= 0.0 || pct > 100.0 then
+    invalid_arg "Analyzer.percentile: pct outside (0, 100]";
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  let rank = int_of_float (ceil (pct /. 100.0 *. float_of_int n)) in
+  arr.(max 0 (min (n - 1) (rank - 1)))
+
+let is_pause (s : Recorder.span) =
+  s.Recorder.track = Recorder.Gc
+  && s.Recorder.kind = Recorder.Slice
+  && String.length s.Recorder.name >= 6
+  && String.sub s.Recorder.name 0 6 = "Pause "
+
+let pause_spans r = List.filter is_pause (Recorder.spans r)
+
+let pause_durations r =
+  List.map (fun (s : Recorder.span) -> s.Recorder.stop - s.Recorder.start)
+    (pause_spans r)
+
+let pause_intervals r =
+  List.map (fun (s : Recorder.span) -> (s.Recorder.start, s.Recorder.stop))
+    (pause_spans r)
+
+let pause_stats r =
+  match pause_durations r with
+  | [] -> { count = 0; total = 0; p50 = 0; p95 = 0; p99 = 0; max = 0 }
+  | ds ->
+      {
+        count = List.length ds;
+        total = List.fold_left ( + ) 0 ds;
+        p50 = percentile ds ~pct:50.0;
+        p95 = percentile ds ~pct:95.0;
+        p99 = percentile ds ~pct:99.0;
+        max = List.fold_left max 0 ds;
+      }
+
+(* Coalesce overlapping/touching intervals so summed window overlap never
+   exceeds the window.  Simulated pauses can share a wall stamp (the wall
+   hint only advances at mutator pumps), so overlap is not hypothetical. *)
+let merge_intervals pauses =
+  let rec go = function
+    | (a1, b1) :: (a2, b2) :: rest when a2 <= b1 -> go ((a1, max b1 b2) :: rest)
+    | iv :: rest -> iv :: go rest
+    | [] -> []
+  in
+  go (List.sort compare (List.filter (fun (a, b) -> b > a) pauses))
+
+let mmu ~window ~total ~pauses =
+  if window <= 0 then invalid_arg "Analyzer.mmu: window must be positive";
+  if total <= 0 then 1.0
+  else begin
+    let window = min window total in
+    let pauses = merge_intervals pauses in
+    let overlap at =
+      List.fold_left
+        (fun acc (start, stop) ->
+          acc + max 0 (min stop (at + window) - max start at))
+        0 pauses
+    in
+    (* The worst window starts at a pause start or ends at a pause stop;
+       checking those anchors (clamped into range) covers the minimum. *)
+    let anchors =
+      0
+      :: List.concat_map (fun (start, stop) -> [ start; stop - window ]) pauses
+      |> List.map (fun at -> max 0 (min at (total - window)))
+    in
+    let worst = List.fold_left (fun acc at -> max acc (overlap at)) 0 anchors in
+    float_of_int (window - worst) /. float_of_int window
+  end
+
+let last_wall r =
+  List.fold_left
+    (fun acc (s : Recorder.span) -> max acc s.Recorder.stop)
+    0 (Recorder.spans r)
+
+let mmu_of r ~window =
+  mmu ~window ~total:(last_wall r) ~pauses:(pause_intervals r)
+
+type attribution_point = {
+  cycle : int;
+  wall : int;
+  reloc_mutator : int;
+  reloc_gc : int;
+  reloc_bytes : int;
+}
+
+let cycle_of_name name = Scanf.sscanf_opt name "GC(%d)" (fun n -> n)
+
+let attribution r =
+  let samples = Recorder.samples r in
+  if samples = [] then []
+  else begin
+    (* Last sample at-or-before [w]; the VM samples at every cycle start,
+       so this is exact at epoch edges. *)
+    let at w =
+      let rec go best = function
+        | [] -> best
+        | (s : Recorder.sample) :: rest ->
+            if s.Recorder.wall <= w then go (Some s) rest else best
+      in
+      match go None samples with
+      | Some s -> s
+      | None -> List.hd samples
+    in
+    let final = List.nth samples (List.length samples - 1) in
+    let starts =
+      Recorder.spans r
+      |> List.filter_map (fun (s : Recorder.span) ->
+             if s.Recorder.track = Recorder.Gc && s.Recorder.kind = Recorder.Slice
+             then
+               Option.map (fun n -> (n, s.Recorder.start))
+                 (cycle_of_name s.Recorder.name)
+             else None)
+      |> List.sort compare
+    in
+    let rec epochs = function
+      | [] -> []
+      | [ (cycle, start) ] -> [ (cycle, start, at start, final) ]
+      | (cycle, start) :: ((_, next) :: _ as rest) ->
+          (cycle, start, at start, at next) :: epochs rest
+    in
+    List.map
+      (fun (cycle, wall, (s0 : Recorder.sample), (s1 : Recorder.sample)) ->
+        {
+          cycle;
+          wall;
+          reloc_mutator = s1.Recorder.reloc_mutator - s0.Recorder.reloc_mutator;
+          reloc_gc = s1.Recorder.reloc_gc - s0.Recorder.reloc_gc;
+          reloc_bytes = s1.Recorder.reloc_bytes - s0.Recorder.reloc_bytes;
+        })
+      (epochs starts)
+  end

@@ -1,0 +1,13 @@
+(** Chrome trace-event JSON export (Perfetto / [chrome://tracing] loadable).
+
+    One process ([pid] 0), one thread track per recorded {!Recorder.track}:
+    [tid] 0 is the GC thread, [tid] m+1 is mutator core m.  Slices are
+    complete events ([ph:"X"]) with [ts]/[dur] in simulated cycles
+    (rendered as microseconds); instants are [ph:"i"]; heap-usage and
+    hot-bytes counter samples are [ph:"C"] counter tracks.  Output is
+    deterministic: metadata first, then spans in completion order, then
+    counter samples in time order. *)
+
+val write : Format.formatter -> Recorder.t -> unit
+
+val to_string : Recorder.t -> string

@@ -1,0 +1,11 @@
+(** CSV time-series export of the counter samples: one header line, one row
+    per sample, all values cumulative (difference adjacent rows for rates).
+    Loads directly into pandas/gnuplot for heap-over-time plots (Fig. 13)
+    and cache-traffic timelines. *)
+
+val header : string
+(** The column names, comma-separated (no trailing newline). *)
+
+val write : Format.formatter -> Recorder.t -> unit
+
+val to_string : Recorder.t -> string

@@ -1,0 +1,208 @@
+module Gc_log = Hcsgc_core.Gc_log
+
+type track = Mutator of int | Gc
+
+type kind = Slice | Instant
+
+type span = {
+  track : track;
+  kind : kind;
+  name : string;
+  start : int;
+  stop : int;
+  args : (string * int) list;
+}
+
+type sample = {
+  wall : int;
+  heap_used : int;
+  hot_bytes : int;
+  loads : int;
+  stores : int;
+  l1_misses : int;
+  l2_misses : int;
+  llc_misses : int;
+  barrier_fast : int;
+  barrier_slow : int;
+  reloc_mutator : int;
+  reloc_gc : int;
+  reloc_bytes : int;
+}
+
+type open_span = {
+  o_name : string;
+  o_start : int;
+  o_args : (string * int) list;
+}
+
+type t = {
+  span_buf : span option array;
+  mutable span_next : int;
+  mutable span_total : int;
+  sample_buf : sample option array;
+  mutable sample_next : int;
+  mutable sample_total : int;
+  open_stacks : (track, open_span list) Hashtbl.t;
+}
+
+let create ?(span_capacity = 65536) ?(sample_capacity = 16384) () =
+  if span_capacity <= 0 || sample_capacity <= 0 then
+    invalid_arg "Recorder.create: capacities must be positive";
+  {
+    span_buf = Array.make span_capacity None;
+    span_next = 0;
+    span_total = 0;
+    sample_buf = Array.make sample_capacity None;
+    sample_next = 0;
+    sample_total = 0;
+    open_stacks = Hashtbl.create 8;
+  }
+
+let push_span t span =
+  t.span_buf.(t.span_next) <- Some span;
+  t.span_next <- (t.span_next + 1) mod Array.length t.span_buf;
+  t.span_total <- t.span_total + 1
+
+let stack t track =
+  match Hashtbl.find_opt t.open_stacks track with Some s -> s | None -> []
+
+let begin_span t ?(args = []) track ~name ~wall =
+  Hashtbl.replace t.open_stacks track
+    ({ o_name = name; o_start = wall; o_args = args } :: stack t track)
+
+let close t track ~args ~wall (o : open_span) =
+  (* Clamp: a span opened speculatively (e.g. a concurrent phase entered at
+     [pause_wall + pause_cost]) may be closed by an event stamped at the
+     pre-pause wall; render it as zero-length rather than negative. *)
+  push_span t
+    {
+      track;
+      kind = Slice;
+      name = o.o_name;
+      start = o.o_start;
+      stop = max o.o_start wall;
+      args = o.o_args @ args;
+    }
+
+let end_span t ?(args = []) track ~wall =
+  match stack t track with
+  | [] -> ()
+  | o :: rest ->
+      Hashtbl.replace t.open_stacks track rest;
+      close t track ~args ~wall o
+
+(* Close the topmost open span named [name] and anything nested above it;
+   no-op when no such span is open. *)
+let end_named t ?(args = []) track ~name ~wall =
+  let st = stack t track in
+  if List.exists (fun o -> o.o_name = name) st then begin
+    let rec pop = function
+      | [] -> []
+      | o :: rest ->
+          if o.o_name = name then begin
+            close t track ~args ~wall o;
+            rest
+          end
+          else begin
+            close t track ~args:[] ~wall o;
+            pop rest
+          end
+    in
+    Hashtbl.replace t.open_stacks track (pop st)
+  end
+
+let complete_span t ?(args = []) track ~name ~wall ~dur =
+  push_span t
+    { track; kind = Slice; name; start = wall; stop = wall + max 0 dur; args }
+
+let instant t ?(args = []) track ~name ~wall =
+  push_span t { track; kind = Instant; name; start = wall; stop = wall; args }
+
+let track_order = function Gc -> -1 | Mutator m -> m
+
+let close_all t ~wall =
+  let tracks =
+    Hashtbl.fold (fun track _ acc -> track :: acc) t.open_stacks []
+    |> List.sort (fun a b -> compare (track_order a) (track_order b))
+  in
+  List.iter
+    (fun track ->
+      List.iter (close t track ~args:[] ~wall) (stack t track);
+      Hashtbl.replace t.open_stacks track [])
+    tracks
+
+let sample t s =
+  t.sample_buf.(t.sample_next) <- Some s;
+  t.sample_next <- (t.sample_next + 1) mod Array.length t.sample_buf;
+  t.sample_total <- t.sample_total + 1
+
+(* GC events -> trace form.  Pauses are slices of their cost; the
+   concurrent phases between them become nested slices under the cycle
+   slice; milestones become instants.  Page_freed is skipped: a busy run
+   frees thousands of pages and the event log already has them. *)
+let on_gc_event t (e : Gc_log.event) =
+  match e with
+  | Gc_log.Cycle_start { cycle; wall; heap_used } ->
+      begin_span t Gc
+        ~name:(Printf.sprintf "GC(%d)" cycle)
+        ~args:[ ("heap_used_start", heap_used) ]
+        ~wall
+  | Gc_log.Pause { cycle = _; pause; cost; wall } -> (
+      (match pause with
+      | Gc_log.STW2 -> end_named t Gc ~name:"Concurrent Mark" ~wall
+      | Gc_log.STW1 | Gc_log.STW3 -> ());
+      complete_span t Gc ~name:(Gc_log.pause_name pause) ~wall ~dur:cost;
+      match pause with
+      | Gc_log.STW1 ->
+          begin_span t Gc ~name:"Concurrent Mark" ~wall:(wall + cost)
+      | Gc_log.STW3 ->
+          begin_span t Gc ~name:"Concurrent Relocate" ~wall:(wall + cost)
+      | Gc_log.STW2 -> ())
+  | Gc_log.Mark_end { cycle = _; marked_objects; wall } ->
+      instant t Gc ~name:"Concurrent Mark end"
+        ~args:[ ("marked", marked_objects) ]
+        ~wall
+  | Gc_log.Ec_selected { cycle = _; small; medium; wall } ->
+      instant t Gc ~name:"Relocation Set"
+        ~args:[ ("small", small); ("medium", medium) ]
+        ~wall
+  | Gc_log.Relocation_deferred { cycle = _; pages; wall } ->
+      instant t Gc ~name:"Relocation deferred" ~args:[ ("pages", pages) ] ~wall
+  | Gc_log.Page_freed _ -> ()
+  | Gc_log.Cycle_end { cycle; wall; heap_used } ->
+      end_named t Gc
+        ~name:(Printf.sprintf "GC(%d)" cycle)
+        ~args:[ ("heap_used_end", heap_used) ]
+        ~wall
+
+let ring_to_list buf next =
+  let cap = Array.length buf in
+  let out = ref [] in
+  for i = 0 to cap - 1 do
+    match buf.((next + i) mod cap) with
+    | Some x -> out := x :: !out
+    | None -> ()
+  done;
+  List.rev !out
+
+let spans t = ring_to_list t.span_buf t.span_next
+
+let samples t = ring_to_list t.sample_buf t.sample_next
+
+let dropped_spans t = max 0 (t.span_total - Array.length t.span_buf)
+
+let dropped_samples t = max 0 (t.sample_total - Array.length t.sample_buf)
+
+let tracks t =
+  spans t
+  |> List.fold_left (fun acc s -> if List.mem s.track acc then acc else s.track :: acc) []
+  |> List.sort (fun a b -> compare (track_order a) (track_order b))
+
+let clear t =
+  Array.fill t.span_buf 0 (Array.length t.span_buf) None;
+  t.span_next <- 0;
+  t.span_total <- 0;
+  Array.fill t.sample_buf 0 (Array.length t.sample_buf) None;
+  t.sample_next <- 0;
+  t.sample_total <- 0;
+  Hashtbl.reset t.open_stacks

@@ -1,0 +1,98 @@
+let mmu_windows = [ 10_000; 100_000; 1_000_000 ]
+
+(* Aggregate slice time by (track, name), like perf report's symbol rows. *)
+let rows r =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Recorder.span) ->
+      if s.Recorder.kind = Recorder.Slice then begin
+        let key = (s.Recorder.track, s.Recorder.name) in
+        let dur = s.Recorder.stop - s.Recorder.start in
+        match Hashtbl.find_opt tbl key with
+        | Some (n, total) -> Hashtbl.replace tbl key (n + 1, total + dur)
+        | None ->
+            Hashtbl.replace tbl key (1, dur);
+            order := key :: !order
+      end)
+    (Recorder.spans r);
+  List.rev_map (fun key -> (key, Hashtbl.find tbl key)) !order
+  |> List.sort (fun ((_, _), (_, t1)) ((_, _), (_, t2)) -> compare t2 t1)
+
+let write fmt r =
+  let spans = Recorder.spans r in
+  let samples = Recorder.samples r in
+  let wall =
+    List.fold_left (fun acc (s : Recorder.span) -> max acc s.Recorder.stop) 0
+      spans
+  in
+  let wall =
+    List.fold_left (fun acc (s : Recorder.sample) -> max acc s.Recorder.wall)
+      wall samples
+  in
+  Format.fprintf fmt "== hcsgc telemetry summary ==@\n";
+  Format.fprintf fmt "wall: %d simulated cycles@\n" wall;
+  Format.fprintf fmt "spans: %d recorded, %d dropped; samples: %d recorded, %d dropped@\n"
+    (List.length spans) (Recorder.dropped_spans r) (List.length samples)
+    (Recorder.dropped_samples r);
+  (* STW pauses. *)
+  let ps = Analyzer.pause_stats r in
+  Format.fprintf fmt "@\n-- STW pauses --@\n";
+  if ps.Analyzer.count = 0 then Format.fprintf fmt "none recorded@\n"
+  else begin
+    Format.fprintf fmt "count=%d total=%dc (%.2f%% of wall)@\n" ps.Analyzer.count
+      ps.Analyzer.total
+      (100.0 *. float_of_int ps.Analyzer.total /. float_of_int (max 1 wall));
+    Format.fprintf fmt "p50=%dc p95=%dc p99=%dc max=%dc@\n" ps.Analyzer.p50
+      ps.Analyzer.p95 ps.Analyzer.p99 ps.Analyzer.max;
+    Format.fprintf fmt "MMU:";
+    List.iter
+      (fun w ->
+        Format.fprintf fmt " %dk=%.4f" (w / 1000) (Analyzer.mmu_of r ~window:w))
+      mmu_windows;
+    Format.fprintf fmt "@\n"
+  end;
+  (* Span totals, perf-report style. *)
+  Format.fprintf fmt "@\n-- time by span (simulated cycles) --@\n";
+  List.iter
+    (fun ((track, name), (count, total)) ->
+      Format.fprintf fmt "%7.2f%%  %12d  %5dx  [%s] %s@\n"
+        (100.0 *. float_of_int total /. float_of_int (max 1 wall))
+        total count
+        (match track with
+        | Recorder.Gc -> "gc"
+        | Recorder.Mutator m -> Printf.sprintf "mut%d" m)
+        name)
+    (rows r);
+  (* Relocation attribution per cycle. *)
+  let attr = Analyzer.attribution r in
+  Format.fprintf fmt "@\n-- relocation attribution (per GC epoch) --@\n";
+  if attr = [] then Format.fprintf fmt "none recorded@\n"
+  else
+    List.iter
+      (fun (a : Analyzer.attribution_point) ->
+        Format.fprintf fmt
+          "GC(%d) @@ %d: mutator=%d gc=%d objects, %d bytes@\n"
+          a.Analyzer.cycle a.Analyzer.wall a.Analyzer.reloc_mutator
+          a.Analyzer.reloc_gc a.Analyzer.reloc_bytes)
+      attr;
+  (* Final counter totals. *)
+  (match List.rev samples with
+  | [] -> ()
+  | (s : Recorder.sample) :: _ ->
+      Format.fprintf fmt "@\n-- counters (final sample, cumulative) --@\n";
+      Format.fprintf fmt "heap_used=%d hot_bytes=%d@\n" s.Recorder.heap_used
+        s.Recorder.hot_bytes;
+      Format.fprintf fmt "loads=%d stores=%d l1_misses=%d l2_misses=%d llc_misses=%d@\n"
+        s.Recorder.loads s.Recorder.stores s.Recorder.l1_misses
+        s.Recorder.l2_misses s.Recorder.llc_misses;
+      Format.fprintf fmt "barrier fast=%d slow=%d; relocated mutator=%d gc=%d (%d bytes)@\n"
+        s.Recorder.barrier_fast s.Recorder.barrier_slow s.Recorder.reloc_mutator
+        s.Recorder.reloc_gc s.Recorder.reloc_bytes)
+
+let to_string r =
+  let buf = Buffer.create 2048 in
+  let fmt = Format.formatter_of_buffer buf in
+  write fmt r;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** [perf report]-style plain-text rendering of a profile: pause
+    percentiles, MMU at a few window sizes, simulated-cycle totals per span
+    name (sorted, with %-of-wall), the per-cycle relocation-attribution
+    timeline and the final counter totals. *)
+
+val write : Format.formatter -> Recorder.t -> unit
+
+val to_string : Recorder.t -> string

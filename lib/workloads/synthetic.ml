@@ -44,29 +44,35 @@ let populate vm ~slots ~words =
 let run vm p =
   if p.elements <= 0 || p.loops <= 0 || p.phases <= 0 then
     invalid_arg "Synthetic.run: non-positive parameter";
-  let arr = populate vm ~slots:p.elements ~words:p.element_words in
-  (* Fig. 6's cold population: allocated up front, never accessed again. *)
-  if p.cold_elements > 0 then
-    ignore (populate vm ~slots:p.cold_elements ~words:p.element_words);
+  let arr =
+    Vm.with_span vm "populate" (fun () ->
+        let arr = populate vm ~slots:p.elements ~words:p.element_words in
+        (* Fig. 6's cold population: allocated up front, never accessed
+           again. *)
+        if p.cold_elements > 0 then
+          ignore (populate vm ~slots:p.cold_elements ~words:p.element_words);
+        arr)
+  in
   let checksum = ref 0 in
   let accesses = ref 0 in
   let loops_per_phase = max 1 (p.loops / p.phases) in
   for phase = 0 to p.phases - 1 do
-    for _loop = 1 to loops_per_phase do
-      (* Same seed each loop within a phase: the access sequence repeats
-         exactly; a new seed per phase changes the pattern (Fig. 5). *)
-      let rng = Rng.create (p.seed + phase) in
-      for j = 1 to p.accesses_per_loop do
-        let idx = Rng.int rng p.elements in
-        (match Vm.load_ref vm arr idx with
-        | Some o ->
-            checksum := !checksum lxor (Vm.load_word vm o 0 + j)
-        | None -> assert false);
-        incr accesses;
-        if p.garbage_every > 0 && j mod p.garbage_every = 0 then
-          ignore (Vm.alloc vm ~nrefs:0 ~nwords:p.garbage_words)
-      done
-    done
+    Vm.with_span vm (Printf.sprintf "phase %d" phase) (fun () ->
+        for _loop = 1 to loops_per_phase do
+          (* Same seed each loop within a phase: the access sequence repeats
+             exactly; a new seed per phase changes the pattern (Fig. 5). *)
+          let rng = Rng.create (p.seed + phase) in
+          for j = 1 to p.accesses_per_loop do
+            let idx = Rng.int rng p.elements in
+            (match Vm.load_ref vm arr idx with
+            | Some o ->
+                checksum := !checksum lxor (Vm.load_word vm o 0 + j)
+            | None -> assert false);
+            incr accesses;
+            if p.garbage_every > 0 && j mod p.garbage_every = 0 then
+              ignore (Vm.alloc vm ~nrefs:0 ~nwords:p.garbage_words)
+          done
+        done)
   done;
   Vm.remove_root vm arr;
   { checksum = !checksum; accesses = !accesses }

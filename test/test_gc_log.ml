@@ -14,9 +14,11 @@ let layout = Layout.scaled ~small_page:(16 * 1024)
 let recorder_ring_buffer () =
   let r = Gc_log.recorder ~capacity:3 () in
   for i = 1 to 5 do
-    Gc_log.listen r (Gc_log.Mark_end { cycle = i; marked_objects = i })
+    Gc_log.listen r
+      (Gc_log.Mark_end { cycle = i; marked_objects = i; wall = i * 10 })
   done;
   check Alcotest.int "total counted" 5 (Gc_log.count r);
+  check Alcotest.int "dropped counted" 2 (Gc_log.dropped r);
   let cycles =
     List.map
       (function Gc_log.Mark_end { cycle; _ } -> cycle | _ -> -1)
@@ -26,15 +28,39 @@ let recorder_ring_buffer () =
     cycles;
   Gc_log.clear r;
   check Alcotest.int "cleared" 0 (Gc_log.count r);
+  check Alcotest.int "dropped cleared" 0 (Gc_log.dropped r);
   check (Alcotest.list Alcotest.int) "no events" []
     (List.map (fun _ -> 0) (Gc_log.events r))
+
+let recorder_reports_truncation () =
+  let r = Gc_log.recorder ~capacity:2 () in
+  for i = 1 to 5 do
+    Gc_log.listen r
+      (Gc_log.Mark_end { cycle = i; marked_objects = i; wall = i * 10 })
+  done;
+  let rendered = Format.asprintf "%a" Gc_log.pp r in
+  let contains ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let first_line = List.hd (String.split_on_char '\n' rendered) in
+  check Alcotest.bool "pp notes the dropped events" true
+    (contains ~needle:"3 older events dropped" first_line);
+  (* A recorder that never overflowed prints no truncation line. *)
+  let small = Gc_log.recorder ~capacity:8 () in
+  Gc_log.listen small
+    (Gc_log.Mark_end { cycle = 1; marked_objects = 1; wall = 0 });
+  check Alcotest.int "no drops" 0 (Gc_log.dropped small)
 
 let event_rendering () =
   let line e = Format.asprintf "%a" Gc_log.pp_event e in
   check Alcotest.string "pause line" "[gc] GC(2) Pause Mark Start 20000c"
-    (line (Gc_log.Pause { cycle = 2; pause = Gc_log.STW1; cost = 20_000 }));
+    (line
+       (Gc_log.Pause
+          { cycle = 2; pause = Gc_log.STW1; cost = 20_000; wall = 123 }));
   check Alcotest.string "ec line" "[gc] GC(1) Relocation Set: 5 small, 1 medium pages"
-    (line (Gc_log.Ec_selected { cycle = 1; small = 5; medium = 1 }))
+    (line (Gc_log.Ec_selected { cycle = 1; small = 5; medium = 1; wall = 0 }))
 
 let vm_records_cycle_structure () =
   let vm =
@@ -126,6 +152,7 @@ let suite =
     ( "core.gc_log",
       [
         case "ring buffer" `Quick recorder_ring_buffer;
+        case "truncation notice" `Quick recorder_reports_truncation;
         case "rendering" `Quick event_rendering;
         case "cycle structure" `Quick vm_records_cycle_structure;
         case "lazy deferral" `Quick lazy_deferral_logged;
