@@ -72,6 +72,16 @@ let trace_sample =
   let doc = "Counter sampling interval in simulated cycles (with --trace-out)." in
   Arg.(value & opt int 50_000 & info [ "trace-sample" ] ~docv:"N" ~doc)
 
+let verify_flag =
+  let doc =
+    "Run under the heap sanitizer: full-heap invariant verification plus \
+     the differential mark-sweep oracle at every GC phase boundary. \
+     Verification is read-only, so results are byte-identical to an \
+     unverified run; corruption aborts with a diagnostic. Also enabled by \
+     HCSGC_VERIFY=1 in the environment."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry artefacts                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -120,13 +130,13 @@ let report_single vm =
   Format.fprintf fmt "cache (mutator only):  loads=%d l1m=%d llcm=%d@."
     mc.H.loads mc.H.l1_misses mc.H.llc_misses
 
-let run_experiment ?trace_out ?(trace_sample = 50_000) ~all ~runs ~jobs
-    ~config_id (exp : E.Runner.experiment) =
+let run_experiment ?trace_out ?(trace_sample = 50_000) ?(verify = false) ~all
+    ~runs ~jobs ~config_id (exp : E.Runner.experiment) =
   if all then begin
     if trace_out <> None then
       Format.eprintf "[run] --trace-out ignored with --all-configs@.";
     let results =
-      E.Runner.run_configs ~runs ~jobs
+      E.Runner.run_configs ~runs ~jobs ~verify
         ~progress:(fun m -> Format.eprintf "[run] %s@." m)
         exp
     in
@@ -136,9 +146,11 @@ let run_experiment ?trace_out ?(trace_sample = 50_000) ~all ~runs ~jobs
   end
   else begin
     let config = Config.of_id config_id in
-    Format.fprintf fmt "workload %s under config %d (%s)@." exp.E.Runner.name
-      config_id (Config.to_string config);
+    Format.fprintf fmt "workload %s under config %d (%s)%s@." exp.E.Runner.name
+      config_id (Config.to_string config)
+      (if verify then " [verified]" else "");
     let vm = exp.E.Runner.make_vm config in
+    if verify then Vm.enable_verification vm;
     let recorder =
       match trace_out with
       | None -> None
@@ -171,18 +183,20 @@ let synthetic_cmd =
            ~doc:"Never-accessed cold elements per hot element (Fig. 6 uses 10).")
   in
   let run config_id all runs jobs scale saturated _seed elements phases
-      cold_ratio trace_out trace_sample =
+      cold_ratio trace_out trace_sample verify =
     let scale = max 1 (scale * (100_000 / max 1 elements)) in
     let exp =
       E.Fig_synthetic.experiment ~phases ~cold_ratio ~saturated ~scale ()
     in
-    run_experiment ?trace_out ~trace_sample ~all ~runs ~jobs ~config_id exp
+    run_experiment ?trace_out ~trace_sample ~verify ~all ~runs ~jobs
+      ~config_id exp
   in
   Cmd.v
     (Cmd.info "synthetic" ~doc:"The paper's synthetic micro-benchmark (§4.4)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed $ elements $ phases $ cold_ratio $ trace_out $ trace_sample)
+      $ seed $ elements $ phases $ cold_ratio $ trace_out $ trace_sample
+      $ verify_flag)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)
@@ -216,7 +230,7 @@ let graph_cmd =
         & info [ "dataset" ] ~docv:"uk|enwiki" ~doc:"Table 3 input (generator stand-in).")
   in
   let run config_id all runs jobs scale _saturated _seed algo dataset trace_out
-      trace_sample =
+      trace_sample verify =
     let module D = Hcsgc_graph.Dataset in
     let exp =
       match (algo, dataset) with
@@ -228,32 +242,35 @@ let graph_cmd =
       | `Mc, `Enwiki ->
           E.Fig_graph.mc_experiment ~dataset:D.enwiki_mc ~scale:(2 * scale) ()
     in
-    run_experiment ?trace_out ~trace_sample ~all ~runs ~jobs ~config_id exp
+    run_experiment ?trace_out ~trace_sample ~verify ~all ~runs ~jobs
+      ~config_id exp
   in
   Cmd.v
     (Cmd.info "graph" ~doc:"JGraphT-style graph workloads (§4.5)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed $ algo $ dataset $ trace_out $ trace_sample)
+      $ seed $ algo $ dataset $ trace_out $ trace_sample $ verify_flag)
 
 (* ------------------------------------------------------------------ *)
 (* h2 / tradebeans / specjbb                                           *)
 (* ------------------------------------------------------------------ *)
 
 let h2_cmd =
-  let run config_id all runs jobs scale _ _ trace_out trace_sample =
-    run_experiment ?trace_out ~trace_sample ~all ~runs ~jobs ~config_id
+  let run config_id all runs jobs scale _ _ trace_out trace_sample verify =
+    run_experiment ?trace_out ~trace_sample ~verify ~all ~runs ~jobs
+      ~config_id
       (E.Fig_dacapo.h2_experiment ~scale)
   in
   Cmd.v
     (Cmd.info "h2" ~doc:"In-memory-database workload (DaCapo h2 stand-in, §4.6)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed $ trace_out $ trace_sample)
+      $ seed $ trace_out $ trace_sample $ verify_flag)
 
 let tradebeans_cmd =
-  let run config_id all runs jobs scale _ _ trace_out trace_sample =
-    run_experiment ?trace_out ~trace_sample ~all ~runs ~jobs ~config_id
+  let run config_id all runs jobs scale _ _ trace_out trace_sample verify =
+    run_experiment ?trace_out ~trace_sample ~verify ~all ~runs ~jobs
+      ~config_id
       (E.Fig_dacapo.tradebeans_experiment ~scale)
   in
   Cmd.v
@@ -261,10 +278,10 @@ let tradebeans_cmd =
        ~doc:"Trading-session workload (DaCapo tradebeans stand-in, §4.6)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed $ trace_out $ trace_sample)
+      $ seed $ trace_out $ trace_sample $ verify_flag)
 
 let specjbb_cmd =
-  let run config_id _all _runs scale _ seed =
+  let run config_id _all _runs scale _ seed verify =
     let module S = Hcsgc_workloads.Specjbb_sim in
     let config = Config.of_id config_id in
     let params = E.Fig_specjbb.experiment_params ~scale in
@@ -274,6 +291,7 @@ let specjbb_cmd =
         ~machine_config:E.Scaled_machine.config
         ~mutators:params.S.handlers ~config ~max_heap:(24 * 1024 * 1024) ()
     in
+    if verify then Vm.enable_verification vm;
     let r = S.run vm { params with S.seed } in
     Vm.finish vm;
     Format.fprintf fmt "throughput (max-jOPS-like):    %.2f txn/Mcycle@."
@@ -287,10 +305,12 @@ let specjbb_cmd =
   in
   Cmd.v
     (Cmd.info "specjbb" ~doc:"SPECjbb2015-style ramping workload (§4.7)")
-    Term.(const run $ config_id $ all_configs $ runs $ scale $ saturated $ seed)
+    Term.(
+      const run $ config_id $ all_configs $ runs $ scale $ saturated $ seed
+      $ verify_flag)
 
 let lru_cmd =
-  let run config_id gc_log seed =
+  let run config_id gc_log seed verify =
     let module L = Hcsgc_workloads.Lru_sim in
     let config = Config.of_id config_id in
     let vm =
@@ -299,6 +319,7 @@ let lru_cmd =
         ~machine_config:E.Scaled_machine.config ~gc_log ~config
         ~max_heap:(4 * 1024 * 1024) ()
     in
+    if verify then Vm.enable_verification vm;
     let r = L.run vm { L.default with L.seed } in
     Vm.finish vm;
     Format.fprintf fmt "gets=%d hits=%d (%.1f%%) puts=%d evictions=%d@."
@@ -315,7 +336,7 @@ let lru_cmd =
   in
   Cmd.v
     (Cmd.info "lru" ~doc:"LRU object-cache service (pointer-surgery workload)")
-    Term.(const run $ config_id $ gc_log_flag $ seed)
+    Term.(const run $ config_id $ gc_log_flag $ seed $ verify_flag)
 
 (* ------------------------------------------------------------------ *)
 (* profile: one (experiment, config) pair with full telemetry          *)
@@ -352,7 +373,7 @@ let profile_cmd =
     | "tradebeans" -> Some (E.Fig_dacapo.tradebeans_experiment ~scale)
     | _ -> None
   in
-  let run config_id scale exp_name trace_out trace_sample seed =
+  let run config_id scale exp_name trace_out trace_sample seed verify =
     match experiment_of ~scale exp_name with
     | None ->
         Format.eprintf "unknown experiment %S (expected one of: %s)@." exp_name
@@ -360,12 +381,13 @@ let profile_cmd =
         exit 2
     | Some exp ->
         let trace_out = Option.value trace_out ~default:"trace.json" in
-        Format.fprintf fmt "profiling %s under config %d (%s)@."
+        Format.fprintf fmt "profiling %s under config %d (%s)%s@."
           exp.E.Runner.name config_id
-          (Config.to_string (Config.of_id config_id));
+          (Config.to_string (Config.of_id config_id))
+          (if verify then " [verified]" else "");
         let job = { E.Runner.exp; config_id; run = seed } in
         let metrics, recorder =
-          E.Runner.profile ~sample_interval:trace_sample job
+          E.Runner.profile ~sample_interval:trace_sample ~verify job
         in
         Format.fprintf fmt "execution time: %.0f cycles, %d GC cycles@."
           metrics.E.Runner.wall metrics.E.Runner.gc_cycle_count;
@@ -380,7 +402,74 @@ let profile_cmd =
           relocation attribution)")
     Term.(
       const run $ config_id $ scale $ exp_arg $ trace_out $ trace_sample
-      $ seed)
+      $ seed $ verify_flag)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz: random-mutator smoke under full verification                  *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let module Fuzz = Hcsgc_fuzz.Fuzz in
+  let seeds =
+    Arg.(value & opt int 200 & info [ "seeds" ] ~docv:"N"
+           ~doc:"Number of consecutive seeds to fuzz (starting at --seed).")
+  in
+  let ops =
+    Arg.(value & opt int 1_500 & info [ "ops" ] ~docv:"N"
+           ~doc:"Actions per seed.")
+  in
+  let slots =
+    Arg.(value & opt int 24 & info [ "slots" ] ~docv:"N"
+           ~doc:"Root-table slots.")
+  in
+  let out =
+    Arg.(value
+        & opt string "fuzz-counterexample.txt"
+        & info [ "out" ] ~docv:"FILE"
+            ~doc:"Where to write the shrunk counterexample on failure.")
+  in
+  let no_oracle =
+    Arg.(value & flag & info [ "no-oracle" ]
+           ~doc:"Skip the mark-sweep reachability oracle (invariants only).")
+  in
+  let run config_id seed seeds ops slots out no_oracle =
+    let config = Config.of_id config_id in
+    Format.fprintf fmt
+      "fuzzing %d seed(s) from %d: config %d (%s), %d ops x %d slots@." seeds
+      seed config_id (Config.to_string config) ops slots;
+    let failed = ref None in
+    let i = ref 0 in
+    while !failed = None && !i < seeds do
+      let s = seed + !i in
+      (match
+         Fuzz.check_seed ~oracle:(not no_oracle) ~config ~slots ~ops ~seed:s ()
+       with
+      | None ->
+          if (!i + 1) mod 25 = 0 || !i + 1 = seeds then
+            Format.eprintf "[fuzz] %d/%d seeds ok@." (!i + 1) seeds
+      | Some cex -> failed := Some cex);
+      incr i
+    done;
+    match !failed with
+    | None ->
+        Format.fprintf fmt "all %d seeds passed under full verification@." seeds
+    | Some cex ->
+        let rendered = Format.asprintf "%a" Fuzz.pp_counterexample cex in
+        write_file out rendered;
+        Format.eprintf "[fuzz] FAILURE (seed %d); minimal counterexample:@.%s@."
+          cex.Fuzz.seed rendered;
+        Format.eprintf "[fuzz] wrote %s@." out;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the collector: drive a random mutator for many seeds with \
+          phase-boundary invariant verification and the mark-sweep oracle \
+          enabled, shrinking any failure to a minimal replayable action \
+          sequence (written to --out)")
+    Term.(
+      const run $ config_id $ seed $ seeds $ ops $ slots $ out $ no_oracle)
 
 (* ------------------------------------------------------------------ *)
 (* figure: delegate to the bench registry                              *)
@@ -428,4 +517,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ synthetic_cmd; graph_cmd; h2_cmd; tradebeans_cmd; specjbb_cmd;
-            lru_cmd; profile_cmd; figure_cmd ]))
+            lru_cmd; profile_cmd; fuzz_cmd; figure_cmd ]))

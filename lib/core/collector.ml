@@ -9,6 +9,14 @@ module Vec = Hcsgc_util.Vec
 
 type phase = Idle | Marking | Relocating
 
+type phase_edge = Stw1_done | Mark_done | Stw3_done | Cycle_done
+
+let phase_edge_name = function
+  | Stw1_done -> "stw1-done"
+  | Mark_done -> "mark-done"
+  | Stw3_done -> "stw3-done"
+  | Cycle_done -> "cycle-done"
+
 type work = { gc : int; stw : int }
 
 type who = Mutator of int | Gc
@@ -65,6 +73,11 @@ type t = {
   (* object bytes allocated since the last cycle start; drives cycle
      scheduling the way ZGC's allocation-rate heuristics do *)
   mutable allocated_since_cycle : int;
+  (* phase-boundary hook (the heap sanitizer's entry point); must be
+     read-only — it runs inside pauses and charges nothing *)
+  mutable phase_hook : (phase_edge -> unit) option;
+  (* Heap.obj_ids_issued at the last STW1 (see mark_watermark) *)
+  mutable mark_watermark : int;
 }
 
 let create ?(sink = Gc_log.null_sink) ~heap ~machine ~config ~gc_core ~roots
@@ -100,6 +113,8 @@ let create ?(sink = Gc_log.null_sink) ~heap ~machine ~config ~gc_core ~roots
     dyn_cold_confidence = config.Config.cold_confidence;
     wall_hint = 0;
     allocated_since_cycle = 0;
+    phase_hook = None;
+    mark_watermark = 0;
   }
 
 let heap t = t.heap
@@ -111,6 +126,22 @@ let good_color t = t.good
 let cycle_number t = t.cycle_no
 
 let layout t = Heap.layout t.heap
+
+let set_phase_hook t hook = t.phase_hook <- hook
+
+let at_edge t edge =
+  match t.phase_hook with None -> () | Some hook -> hook edge
+
+let roots_list t = t.roots ()
+
+let mark_watermark t = t.mark_watermark
+
+let iter_stale_fwd_pages t f =
+  (* The retire queue holds each freed-but-unretired page exactly once. *)
+  Vec.iter (fun (_, page) -> f page) t.retire_queue
+
+let stale_fwd_page_at t ~addr =
+  Hashtbl.find_opt t.fwd_index (addr / Layout.granule (layout t))
 
 let who_core t who = match who with Mutator c -> c | Gc -> t.gc_core
 
@@ -464,6 +495,7 @@ let start_cycle t =
   if t.phase <> Idle then invalid_arg "Collector.start_cycle: cycle in progress";
   t.cycle_no <- t.cycle_no + 1;
   t.allocated_since_cycle <- 0;
+  t.mark_watermark <- Heap.obj_ids_issued t.heap;
   t.marked_at_cycle_start <- Gc_stats.objects_marked t.stats;
   t.sink
     (Gc_log.Cycle_start
@@ -500,6 +532,7 @@ let start_cycle t =
        { cycle = t.cycle_no; pause = Gc_log.STW1; cost = !cost;
          wall = t.wall_hint });
   sample_heap t;
+  at_edge t Stw1_done;
   { gc = 0; stw = !cost }
 
 (* How many reference slots one GC work unit traces. *)
@@ -613,6 +646,7 @@ let select_class t ~cls ~page_size =
 let finish_mark t =
   assert (t.phase = Marking);
   assert (Vec.is_empty t.mark_stack);
+  at_edge t Mark_done;
   Gc_stats.on_stw t.stats;
   Gc_stats.on_stw t.stats;
   t.sink
@@ -682,16 +716,19 @@ let finish_mark t =
     t.sink
       (Gc_log.Relocation_deferred
          { cycle = t.cycle_no; pages = List.length ec; wall = t.wall_hint });
+    at_edge t Stw3_done;
     t.phase <- Idle;
     t.sink
       (Gc_log.Cycle_end
          { cycle = t.cycle_no; wall = t.wall_hint;
            heap_used = Heap.used_bytes t.heap });
-    sample_heap t
+    sample_heap t;
+    at_edge t Cycle_done
   end
   else begin
     List.iter (fun p -> Vec.push t.relo_queue p) ec;
-    t.phase <- Relocating
+    t.phase <- Relocating;
+    at_edge t Stw3_done
   end;
   !cost
 
@@ -762,6 +799,7 @@ let gc_work t ~budget =
                { cycle = t.cycle_no; wall = t.wall_hint;
                  heap_used = Heap.used_bytes t.heap });
           sample_heap t;
+          at_edge t Cycle_done;
           continue_ := false
       | Idle -> continue_ := false
     end

@@ -69,6 +69,55 @@ val good_color : t -> Addr.color
 val cycle_number : t -> int
 (** Number of the last started cycle (0 before the first). *)
 
+(** {2 Phase-boundary hook (heap sanitizer)}
+
+    Every GC cycle crosses four well-defined edges at which the heap is in
+    a quiescent, checkable state.  An installed hook is invoked
+    synchronously at each edge — the intended consumer is
+    [Hcsgc_verify.Invariants], which walks the whole heap there.  Hooks
+    must only {e read} collector/heap state: they are charged no simulated
+    cycles and touch no simulated caches, so a hooked run is byte-identical
+    to an unhooked one. *)
+
+type phase_edge =
+  | Stw1_done  (** STW1 finished: good colour flipped to the mark colour,
+                   roots seeded, phase is [Marking] *)
+  | Mark_done  (** mark stack drained, still before STW2's retirement and
+                   EC selection: the livemap is complete and every
+                   reachable slot has been healed to the good colour *)
+  | Stw3_done  (** STW3 finished: good colour is R, the EC is selected
+                   (and, under LAZYRELOCATE, handed to the mutators) *)
+  | Cycle_done  (** the cycle's relocation pass completed (or was deferred)
+                    and the phase returned to [Idle] *)
+
+val phase_edge_name : phase_edge -> string
+
+val set_phase_hook : t -> (phase_edge -> unit) option -> unit
+(** Install (or, with [None], remove) the phase-boundary hook.  At most one
+    hook is installed at a time; installing replaces the previous one. *)
+
+(** {2 Read-only state accessors (for the verifier)} *)
+
+val roots_list : t -> Heap_obj.t list
+(** The current root set, exactly as the collector sees it. *)
+
+val mark_watermark : t -> int
+(** The heap's {!Heap.obj_ids_issued} snapshot taken at the last STW1:
+    objects with [id < mark_watermark] existed when marking started and
+    must be covered by the livemap at [Mark_done]; younger objects are
+    allocated during the cycle and are kept alive by roots/barriers
+    instead. *)
+
+val iter_stale_fwd_pages : t -> (Page.t -> unit) -> unit
+(** Iterate the freed pages whose forwarding tables are still live (i.e.
+    not yet retired at a Mark End pause) — the pages stale coloured
+    pointers may still resolve through. *)
+
+val stale_fwd_page_at : t -> addr:int -> Page.t option
+(** The freed-but-unretired page whose recycled address range covers
+    [addr], if any (the forwarding-index lookup of the barrier slow path,
+    minus the relocation side effects). *)
+
 (** {2 Mutator interface} *)
 
 val alloc :

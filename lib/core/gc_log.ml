@@ -13,7 +13,22 @@ type sink = event -> unit
 
 let null_sink (_ : event) = ()
 
-let tee sinks event = List.iter (fun sink -> sink event) sinks
+(* Every sink sees every event even when an earlier sink raises: a
+   diagnostic consumer (e.g. a verifier reporting a violation) must not be
+   able to starve the consumers after it in the list.  The first exception
+   is re-raised once the fan-out completes. *)
+let tee sinks event =
+  let first_exn = ref None in
+  List.iter
+    (fun sink ->
+      try sink event
+      with exn ->
+        if !first_exn = None then
+          first_exn := Some (exn, Printexc.get_raw_backtrace ()))
+    sinks;
+  match !first_exn with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
 
 type recorder = {
   buf : event option array;

@@ -32,7 +32,11 @@ val null_sink : sink
 (** Drops every event (the collector's default). *)
 
 val tee : sink list -> sink
-(** Fan one event stream out to several sinks, called in list order. *)
+(** Fan one event stream out to several sinks, called in list order.
+    Delivery is all-or-nothing per sink, not per event: if a sink raises,
+    the remaining sinks still receive the event, and the first exception
+    raised is re-thrown (with its backtrace) once every sink has run.
+    Later exceptions are dropped in favour of the first. *)
 
 type recorder
 

@@ -55,16 +55,18 @@ let jobs_of ?config_ids ~runs exp =
     (fun id -> List.init runs (fun run -> { exp; config_id = id; run }))
     ids
 
-let execute { exp; config_id; run } =
+let execute ?(verify = false) { exp; config_id; run } =
   let config = Config.of_id config_id in
   let vm = exp.make_vm config in
+  if verify then Vm.enable_verification vm;
   exp.workload vm ~run;
   Vm.finish vm;
   collect vm
 
-let profile ?sample_interval { exp; config_id; run } =
+let profile ?sample_interval ?(verify = false) { exp; config_id; run } =
   let config = Config.of_id config_id in
   let vm = exp.make_vm config in
+  if verify then Vm.enable_verification vm;
   let recorder = Vm.enable_telemetry ?sample_interval vm in
   exp.workload vm ~run;
   Vm.finish vm;
@@ -90,7 +92,8 @@ let regroup ~ids ~runs metrics =
   in
   go ids metrics
 
-let run_configs ?config_ids ?(progress = fun _ -> ()) ?(jobs = 1) ~runs exp =
+let run_configs ?config_ids ?(progress = fun _ -> ()) ?(jobs = 1)
+    ?(verify = false) ~runs exp =
   let ids =
     match config_ids with
     | Some ids -> ids
@@ -110,7 +113,7 @@ let run_configs ?config_ids ?(progress = fun _ -> ()) ?(jobs = 1) ~runs exp =
         Reporter.sayf reporter "%s: config %d (%s)" job.exp.name job.config_id
           (Config.to_string (Config.of_id job.config_id))
     | _ -> ());
-    execute job
+    execute ~verify job
   in
   let metrics =
     Pool.with_pool ~jobs (fun pool -> Pool.map_list pool run_job job_list)

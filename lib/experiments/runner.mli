@@ -46,12 +46,19 @@ val jobs_of : ?config_ids:int list -> runs:int -> experiment -> job list
     in the given order (default: all 19 of Table 2), repetitions 0..runs-1
     within each. *)
 
-val execute : job -> run_metrics
+val execute : ?verify:bool -> job -> run_metrics
 (** Run one job to completion: fresh VM, workload, {!Vm.finish},
     {!collect}.  Pure function of the job (workloads are seeded by
-    [run]); safe to call from any domain. *)
+    [run]); safe to call from any domain.  [verify] (default [false])
+    attaches the {!Hcsgc_verify.Invariants} heap sanitizer to the job's VM
+    ({!Vm.enable_verification}); verification reads state only, so verified
+    metrics are bit-identical to unverified ones. *)
 
-val profile : ?sample_interval:int -> job -> run_metrics * Hcsgc_telemetry.Recorder.t
+val profile :
+  ?sample_interval:int ->
+  ?verify:bool ->
+  job ->
+  run_metrics * Hcsgc_telemetry.Recorder.t
 (** {!execute} with telemetry attached ({!Vm.enable_telemetry}):
     additionally returns the job's span/counter recorder, ready for the
     {!Hcsgc_telemetry} exporters.  Telemetry charges no simulated cycles,
@@ -64,6 +71,7 @@ val run_configs :
   ?config_ids:int list ->
   ?progress:(string -> unit) ->
   ?jobs:int ->
+  ?verify:bool ->
   runs:int ->
   experiment ->
   (int * run_metrics array) list
@@ -71,6 +79,10 @@ val run_configs :
     Table 2 configuration (default: all 19).  Deterministic: repetition [i]
     uses the same workload seed under every configuration, mirroring the
     paper's N VM invocations per configuration.
+
+    [verify] (default false) runs every job under the heap sanitizer (see
+    {!execute}); each VM gets its own verifier, so verified sweeps fan out
+    across domains unchanged.
 
     [jobs] (default 1) sets the degree of parallelism.  [~jobs:1] runs
     everything in-process on the calling domain, exactly as before the

@@ -50,6 +50,8 @@ let fresh_obj_id t =
   t.next_obj_id <- id + 1;
   id
 
+let obj_ids_issued t = t.next_obj_id
+
 (* Find a start granule for [ngranules] contiguous granules. *)
 let take_granules t ~cls ~ngranules =
   match (cls : Layout.size_class) with

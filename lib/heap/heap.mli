@@ -74,4 +74,11 @@ val fresh_obj_id : t -> int
 (** Next object identity (also used by the collector when splitting objects
     is simulated — monotone, never reused). *)
 
+val obj_ids_issued : t -> int
+(** Number of object identities issued so far — equivalently, the id the
+    next {!fresh_obj_id} call will return.  Read-only; lets the verifier
+    ({!Hcsgc_verify}) tell objects allocated before a cycle's STW1 (which
+    marking must cover) from objects born during the cycle (which it need
+    not). *)
+
 val pp_stats : Format.formatter -> t -> unit

@@ -6,6 +6,7 @@ module Recorder = Hcsgc_telemetry.Recorder
 module Machine = Hcsgc_memsim.Machine
 module Collector = Hcsgc_core.Collector
 module Config = Hcsgc_core.Config
+module Invariants = Hcsgc_verify.Invariants
 module Gc_stats = Hcsgc_core.Gc_stats
 module Cost = Hcsgc_core.Cost
 module Vec = Hcsgc_util.Vec
@@ -45,9 +46,16 @@ type t = {
 
 let mutator_core = 0
 
+(* HCSGC_VERIFY=1 turns every VM into a verified VM — the CI lever that
+   reruns the whole test suite under the heap sanitizer. *)
+let env_verify () =
+  match Sys.getenv_opt "HCSGC_VERIFY" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
 let create ?layout ?machine_config ?(saturated = false) ?(gc_share = 1.0)
     ?(trigger = 0.25) ?(autotune = false) ?(gc_log = false) ?(mutators = 1)
-    ~config ~max_heap () =
+    ?verify ~config ~max_heap () =
   if autotune && not config.Config.hotness then
     invalid_arg "Vm.create: autotuning requires a HOTNESS-enabled config";
   if mutators < 1 then invalid_arg "Vm.create: need at least one mutator";
@@ -78,6 +86,8 @@ let create ?layout ?machine_config ?(saturated = false) ?(gc_share = 1.0)
       ~gc_core:(if saturated then 0 else mutators)
       ~roots:root_fn ()
   in
+  (if (match verify with Some v -> v | None -> env_verify ()) then
+     Invariants.install collector);
   {
     machine;
     heap;
@@ -383,6 +393,8 @@ let enable_telemetry ?(sample_interval = 50_000) t =
       r
 
 let telemetry t = t.telemetry
+
+let enable_verification ?oracle t = Invariants.install ?oracle t.collector
 
 let span_begin ?(m = 0) t name =
   check_m t m;

@@ -34,6 +34,7 @@ val create :
   ?autotune:bool ->
   ?gc_log:bool ->
   ?mutators:int ->
+  ?verify:bool ->
   config:Hcsgc_core.Config.t ->
   max_heap:int ->
   unit ->
@@ -57,7 +58,14 @@ val create :
     with its own core (private L1/L2, own relocation/allocation target
     pages, own clock); the workload interleaves them cooperatively by
     passing [~m] to the mutator operations.  Wall time follows the slowest
-    mutator.  Incompatible with [saturated]. *)
+    mutator.  Incompatible with [saturated].
+    [verify] installs the {!Hcsgc_verify.Invariants} heap sanitizer (with
+    the mark-sweep oracle) for the whole run; when omitted it defaults to
+    the [HCSGC_VERIFY] environment variable ([1]/[true]/[yes]), the hook CI
+    uses to rerun everything verified.  Verification is read-only: a
+    verified run's results and traces are byte-identical to an unverified
+    one; corruption raises {!Hcsgc_verify.Invariants.Violation} at the
+    next GC phase edge. *)
 
 (** {2 Mutator operations} *)
 
@@ -104,6 +112,12 @@ val enable_telemetry :
     deltas are exact. *)
 
 val telemetry : t -> Hcsgc_telemetry.Recorder.t option
+
+val enable_verification : ?oracle:bool -> t -> unit
+(** Attach the heap sanitizer after creation (the [--verify] flag's entry
+    point): {!Hcsgc_verify.Invariants.install} on this VM's collector.
+    [oracle] (default [true]) also runs the differential mark-sweep
+    reachability oracle at every Mark End. *)
 
 val span_begin : ?m:int -> t -> string -> unit
 (** Open a workload span on mutator [m]'s track (e.g. a benchmark phase).

@@ -1,0 +1,130 @@
+module Collector = Hcsgc_core.Collector
+module Heap = Hcsgc_heap.Heap
+module Heap_obj = Hcsgc_heap.Heap_obj
+module Page = Hcsgc_heap.Page
+module Addr = Hcsgc_heap.Addr
+
+(* The collector's own chains are at most two hops (one relocation per
+   cycle, tables retired after one cycle); anything deeper is corruption. *)
+let max_chain = 8
+
+let resolve_ro c addr0 =
+  let heap = Collector.heap c in
+  let rec go addr depth =
+    if depth > max_chain then
+      Error
+        (Printf.sprintf "forwarding chain from 0x%x deeper than %d hops" addr0
+           max_chain)
+    else
+      match Collector.stale_fwd_page_at c ~addr with
+      | Some old_page -> (
+          match
+            Hcsgc_heap.Fwd_table.find old_page.Page.fwd
+              ~offset:(addr - old_page.Page.start)
+          with
+          | Some fwd -> go fwd (depth + 1)
+          | None ->
+              Error
+                (Printf.sprintf
+                   "stale pointer 0x%x into freed page #%d has no forwarding"
+                   addr old_page.Page.id))
+      | None -> (
+          match Heap.page_of_addr heap addr with
+          | None -> Error (Printf.sprintf "pointer 0x%x maps to no page" addr)
+          | Some page -> (
+              let offset = addr - page.Page.start in
+              match Page.find_object page ~offset with
+              | Some obj -> Ok obj
+              | None -> (
+                  match Hcsgc_heap.Fwd_table.find page.Page.fwd ~offset with
+                  | Some fwd -> go fwd (depth + 1)
+                  | None ->
+                      Error
+                        (Printf.sprintf
+                           "no object or forwarding at 0x%x on page #%d" addr
+                           page.Page.id))))
+  in
+  go addr0 0
+
+let reachable c =
+  let errors = ref [] in
+  let seen : (int, Heap_obj.t) Hashtbl.t = Hashtbl.create 4096 in
+  let stack = ref [] in
+  let visit (obj : Heap_obj.t) =
+    if not (Hashtbl.mem seen obj.Heap_obj.id) then begin
+      Hashtbl.add seen obj.Heap_obj.id obj;
+      stack := obj :: !stack
+    end
+  in
+  List.iter visit (Collector.roots_list c);
+  let continue_ = ref true in
+  while !continue_ do
+    match !stack with
+    | [] -> continue_ := false
+    | obj :: rest ->
+        stack := rest;
+        Array.iteri
+          (fun slot ptr ->
+            if not (Addr.is_null ptr) then
+              match resolve_ro c (Addr.addr ptr) with
+              | Ok target -> visit target
+              | Error msg ->
+                  errors :=
+                    Printf.sprintf "object #%d slot %d: %s" obj.Heap_obj.id
+                      slot msg
+                    :: !errors)
+          obj.Heap_obj.refs
+  done;
+  (seen, List.rev !errors)
+
+type diff = {
+  reachable_count : int;
+  marked_count : int;
+  floating : int;
+  missed : string list;
+  errors : string list;
+}
+
+let diff c =
+  let heap = Collector.heap c in
+  let watermark = Collector.mark_watermark c in
+  let reach, errors = reachable c in
+  let missed = ref [] in
+  let reachable_marked = ref 0 in
+  Hashtbl.iter
+    (fun _ (obj : Heap_obj.t) ->
+      match Heap.page_of_addr heap obj.Heap_obj.addr with
+      | None -> () (* already reported by [reachable] via a dangling slot *)
+      | Some page ->
+          if Page.is_marked_live page obj then incr reachable_marked
+          else if obj.Heap_obj.id < watermark then
+            missed :=
+              Printf.sprintf
+                "object #%d at 0x%x (born before STW1, reachable) is not in \
+                 the livemap"
+                obj.Heap_obj.id obj.Heap_obj.addr
+              :: !missed)
+    reach;
+  let marked_count = ref 0 in
+  Heap.iter_pages heap (fun page ->
+      if page.Page.state = Page.Active then
+        marked_count := !marked_count + page.Page.live_objects);
+  {
+    reachable_count = Hashtbl.length reach;
+    marked_count = !marked_count;
+    floating = !marked_count - !reachable_marked;
+    missed = List.rev !missed;
+    errors;
+  }
+
+let check c =
+  let d = diff c in
+  match (d.missed, d.errors) with
+  | [], [] -> Ok d
+  | missed, errors -> Error (missed @ errors)
+
+let pp_diff fmt d =
+  Format.fprintf fmt
+    "oracle{reachable=%d marked=%d floating=%d missed=%d errors=%d}"
+    d.reachable_count d.marked_count d.floating (List.length d.missed)
+    (List.length d.errors)

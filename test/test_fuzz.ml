@@ -35,7 +35,9 @@ let nrefs_per_obj = 3
 let nwords_per_obj = 2
 
 let run_fuzz ~config ~seed ~ops ~slots =
-  let vm = Vm.create ~layout ~config ~max_heap:(1024 * 1024) () in
+  (* ~verify:true puts the whole fuzz under the hcsgc.verify sanitizer:
+     full-heap invariants plus the mark-sweep oracle at every phase edge. *)
+  let vm = Vm.create ~layout ~verify:true ~config ~max_heap:(1024 * 1024) () in
   let table = Vm.alloc vm ~nrefs:slots ~nwords:0 in
   Vm.add_root vm table;
   let m =

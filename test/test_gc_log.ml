@@ -147,6 +147,44 @@ let off_by_default () =
   let vm = Vm.create ~layout ~config:Config.zgc ~max_heap:(1024 * 1024) () in
   check Alcotest.bool "no recorder" true (Vm.gc_log vm = None)
 
+exception Sink_boom
+
+(* A sink raising must not starve the sinks after it: every sink sees every
+   event, in sink order, and the first exception is re-raised once all sinks
+   have run. *)
+let tee_survives_raising_sink () =
+  let log = ref [] in
+  let sink name e = log := (name, e) :: !log in
+  let raising e =
+    sink "raising" e;
+    raise Sink_boom
+  in
+  let ev cycle = Gc_log.Mark_end { cycle; marked_objects = 0; wall = 0 } in
+  let tee = Gc_log.tee [ raising; sink "second"; sink "third" ] in
+  (match tee (ev 1) with
+  | () -> Alcotest.fail "tee swallowed the sink's exception"
+  | exception Sink_boom -> ());
+  check (Alcotest.list Alcotest.string) "all sinks ran, in order"
+    [ "raising"; "second"; "third" ]
+    (List.rev_map fst !log);
+  (* The exception is per-event: the tee keeps working afterwards. *)
+  log := [];
+  (match tee (ev 2) with () -> () | exception Sink_boom -> ());
+  check Alcotest.int "subsequent events still fan out" 3 (List.length !log)
+
+let tee_reraises_first_exception () =
+  let last_ran = ref false in
+  let tee =
+    Gc_log.tee
+      [ (fun _ -> failwith "a"); (fun _ -> failwith "b");
+        (fun _ -> last_ran := true) ]
+  in
+  match tee (Gc_log.Mark_end { cycle = 1; marked_objects = 0; wall = 0 }) with
+  | () -> Alcotest.fail "expected an exception"
+  | exception Failure msg ->
+      check Alcotest.string "first sink's exception wins" "a" msg;
+      check Alcotest.bool "later sinks still ran" true !last_ran
+
 let suite =
   [
     ( "core.gc_log",
@@ -158,5 +196,7 @@ let suite =
         case "lazy deferral" `Quick lazy_deferral_logged;
         case "page frees" `Quick page_frees_logged;
         case "off by default" `Quick off_by_default;
+        case "tee survives raising sink" `Quick tee_survives_raising_sink;
+        case "tee re-raises first exception" `Quick tee_reraises_first_exception;
       ] );
   ]

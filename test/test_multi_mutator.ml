@@ -12,8 +12,13 @@ let case = Alcotest.test_case
 
 let layout = Layout.scaled ~small_page:(16 * 1024)
 
+(* All multi-mutator tests run under the phase-boundary sanitizer: the
+   shared-heap interleavings are exactly where metadata corruption would
+   hide.  Verification is read-only, so the clock/counter assertions below
+   are unaffected. *)
 let mk_vm ?(config = Config.zgc) ?(mutators = 2) () =
-  Vm.create ~layout ~mutators ~config ~max_heap:(4 * 1024 * 1024) ()
+  Vm.create ~layout ~mutators ~verify:true ~config ~max_heap:(4 * 1024 * 1024)
+    ()
 
 let creation_rules () =
   check Alcotest.int "count" 3 (Vm.mutator_count (mk_vm ~mutators:3 ()));

@@ -193,6 +193,48 @@ let prop_bitmap_popcount =
       List.iter (fun i -> Bitmap.set b i) indices;
       Bitmap.pop_count b = List.length (List.sort_uniq compare indices))
 
+let prop_bitmap_clear_inverts_set =
+  QCheck.Test.make ~name:"bitmap: clear undoes set, leaves the rest" ~count:200
+    QCheck.(pair (list (int_bound 300)) (list (int_bound 300)))
+    (fun (sets, clears) ->
+      let b = Bitmap.create 301 in
+      List.iter (Bitmap.set b) sets;
+      List.iter (Bitmap.clear b) clears;
+      let expected = List.filter (fun i -> not (List.mem i clears)) sets in
+      List.for_all (Bitmap.get b) expected
+      && List.for_all (fun i -> not (Bitmap.get b i)) clears)
+
+let prop_bitmap_iter_fold_agree =
+  QCheck.Test.make ~name:"bitmap: iter_set, fold_set and pop_count agree"
+    ~count:200
+    QCheck.(list (int_bound 300))
+    (fun indices ->
+      let b = Bitmap.create 301 in
+      List.iter (Bitmap.set b) indices;
+      let via_iter = ref [] in
+      Bitmap.iter_set b (fun i -> via_iter := i :: !via_iter);
+      let via_iter = List.rev !via_iter in
+      let via_fold =
+        List.rev (Bitmap.fold_set b ~init:[] ~f:(fun acc i -> i :: acc))
+      in
+      via_iter = via_fold
+      && via_iter = List.sort_uniq compare indices
+      && List.length via_iter = Bitmap.pop_count b)
+
+let prop_bitmap_test_and_set_reports_prior =
+  QCheck.Test.make ~name:"bitmap: test_and_set returns the prior state"
+    ~count:200
+    QCheck.(list (int_bound 100))
+    (fun indices ->
+      let b = Bitmap.create 101 in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun i ->
+          let prior = Hashtbl.mem model i in
+          Hashtbl.replace model i ();
+          Bitmap.test_and_set b i = prior && Bitmap.get b i)
+        indices)
+
 (* ------------------------------------------------------------------ *)
 (* Vec                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -253,6 +295,48 @@ let prop_vec_push_preserves =
     QCheck.(list int)
     (fun xs -> Vec.to_list (Vec.of_list xs) = xs)
 
+let prop_vec_stack_discipline =
+  QCheck.Test.make ~name:"vec: push/pop is a stack" ~count:200
+    QCheck.(list (option int))
+    (fun script ->
+      (* [Some x] pushes x, [None] pops; compare against a list model. *)
+      let v = Vec.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+              Vec.push v x;
+              model := x :: !model;
+              true
+          | None -> (
+              let got = Vec.pop v in
+              match !model with
+              | [] -> got = None
+              | x :: rest ->
+                  model := rest;
+                  got = Some x))
+        script
+      && Vec.to_list v = List.rev !model)
+
+let prop_vec_sort_matches_list_sort =
+  QCheck.Test.make ~name:"vec: sort matches List.sort" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let v = Vec.of_list xs in
+      Vec.sort compare v;
+      Vec.to_list v = List.sort compare xs)
+
+let prop_vec_clear_then_push =
+  QCheck.Test.make ~name:"vec: clear forgets, capacity reuse is invisible"
+    ~count:200
+    QCheck.(pair (list int) (list int))
+    (fun (xs, ys) ->
+      let v = Vec.of_list xs in
+      Vec.clear v;
+      List.iter (Vec.push v) ys;
+      Vec.to_list v = ys)
+
 let suite =
   [
     ( "util.rng",
@@ -281,6 +365,9 @@ let suite =
         case "fold" `Quick bitmap_fold;
         QCheck_alcotest.to_alcotest prop_bitmap_set_get;
         QCheck_alcotest.to_alcotest prop_bitmap_popcount;
+        QCheck_alcotest.to_alcotest prop_bitmap_clear_inverts_set;
+        QCheck_alcotest.to_alcotest prop_bitmap_iter_fold_agree;
+        QCheck_alcotest.to_alcotest prop_bitmap_test_and_set_reports_prior;
       ] );
     ( "util.vec",
       [
@@ -291,5 +378,8 @@ let suite =
         case "conversions" `Quick vec_conversions;
         case "fold/iter" `Quick vec_fold_iter;
         QCheck_alcotest.to_alcotest prop_vec_push_preserves;
+        QCheck_alcotest.to_alcotest prop_vec_stack_discipline;
+        QCheck_alcotest.to_alcotest prop_vec_sort_matches_list_sort;
+        QCheck_alcotest.to_alcotest prop_vec_clear_then_push;
       ] );
   ]
