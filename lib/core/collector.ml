@@ -37,7 +37,11 @@ type t = {
   machine : Machine.t;
   config : Config.t;
   gc_core : int;
-  roots : unit -> Heap_obj.t list;
+  (* Root enumeration as an iterator: the VM applies the callback to every
+     root in a fixed order.  Unlike the list-returning callback this
+     replaces, enumerating allocates nothing per root (the old one rebuilt
+     a list — with a list append — on every STW pause and every verify). *)
+  roots : (Heap_obj.t -> unit) -> unit;
   stats : Gc_stats.t;
   mutable sink : Gc_log.sink;
   mutable marked_at_cycle_start : int;
@@ -78,6 +82,9 @@ type t = {
   mutable phase_hook : (phase_edge -> unit) option;
   (* Heap.obj_ids_issued at the last STW1 (see mark_watermark) *)
   mutable mark_watermark : int;
+  (* Cycle cost of the most recent [load_ref] (see [last_cost] below);
+     written instead of returned so the hot path never boxes a tuple. *)
+  mutable last_cost : int;
 }
 
 let create ?(sink = Gc_log.null_sink) ~heap ~machine ~config ~gc_core ~roots
@@ -115,6 +122,7 @@ let create ?(sink = Gc_log.null_sink) ~heap ~machine ~config ~gc_core ~roots
     allocated_since_cycle = 0;
     phase_hook = None;
     mark_watermark = 0;
+    last_cost = 0;
   }
 
 let heap t = t.heap
@@ -132,7 +140,12 @@ let set_phase_hook t hook = t.phase_hook <- hook
 let at_edge t edge =
   match t.phase_hook with None -> () | Some hook -> hook edge
 
-let roots_list t = t.roots ()
+let roots_list t =
+  let acc = ref [] in
+  t.roots (fun root -> acc := root :: !acc);
+  List.rev !acc
+
+let last_cost t = t.last_cost
 
 let mark_watermark t = t.mark_watermark
 
@@ -339,7 +352,7 @@ let mark_object t (obj : Heap_obj.t) =
 
 let flag_hot t ~(page : Page.t) (obj : Heap_obj.t) =
   if t.config.Config.hotness && page.Page.cls = Layout.Small then
-    if Page.flag_hot page obj then begin
+    if Heap.flag_hot t.heap page obj then begin
       Gc_stats.on_hot_flag t.stats;
       Cost.hotmap_cas
     end
@@ -350,73 +363,108 @@ let flag_hot t ~(page : Page.t) (obj : Heap_obj.t) =
 (* Mutator interface                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* The handle-validity check shared by both [use_handle] paths: [obj] must
+   still be the object registered at its own address on [page].  Because an
+   object's table key is always its current address offset, registration is
+   equivalent to [page_id] matching — one integer compare, no hash walk. *)
+let[@inline] check_handle (page : Page.t) (obj : Heap_obj.t) =
+  if obj.Heap_obj.page_id <> page.Page.id then
+    raise
+      (Invalid_handle
+         (Printf.sprintf "handle to reclaimed object #%d" obj.Heap_obj.id))
+
 let use_handle t ~core (obj : Heap_obj.t) =
   let page = page_of_obj t obj in
-  let cost = ref 0 in
   let relocated = page.Page.state = Page.In_ec in
   Gc_stats.on_barrier t.stats ~slow:relocated;
-  let page =
-    if relocated then begin
-      cost := !cost + relocate t ~who:(Mutator core) obj page;
-      page_of_obj t obj
-    end
-    else page
-  in
-  (match Page.find_object page ~offset:(obj.Heap_obj.addr - page.Page.start) with
-  | Some o when o == obj -> ()
-  | _ ->
-      raise
-        (Invalid_handle
-           (Printf.sprintf "handle to reclaimed object #%d" obj.Heap_obj.id)));
-  (* Hotness is recorded on barrier slow paths only (§3.1.2): a handle use
-     flags the object just when it forced relocation work — freshly
-     allocated objects reached through good-coloured pointers are never
-     flagged, exactly as in ZGC. *)
-  if relocated then cost := !cost + flag_hot t ~page obj;
-  if t.phase = Marking then cost := !cost + mark_object t obj;
-  !cost
+  if relocated || t.phase = Marking then begin
+    (* Slow path: relocation work and/or marking may be charged. *)
+    let cost = ref 0 in
+    let page =
+      if relocated then begin
+        cost := !cost + relocate t ~who:(Mutator core) obj page;
+        page_of_obj t obj
+      end
+      else page
+    in
+    check_handle page obj;
+    (* Hotness is recorded on barrier slow paths only (§3.1.2): a handle use
+       flags the object just when it forced relocation work — freshly
+       allocated objects reached through good-coloured pointers are never
+       flagged, exactly as in ZGC. *)
+    if relocated then cost := !cost + flag_hot t ~page obj;
+    if t.phase = Marking then cost := !cost + mark_object t obj;
+    !cost
+  end
+  else begin
+    (* Fast path — the steady-state barrier: validate the handle, charge
+       nothing, allocate nothing. *)
+    check_handle page obj;
+    0
+  end
 
 let slot_addr t obj slot = Heap_obj.ref_slot_addr ~layout:(layout t) obj slot
 
 let load_ref t ~core (src : Heap_obj.t) ~slot =
-  let cost = ref (use_handle t ~core src) in
-  cost := !cost + Machine.load t.machine ~core (slot_addr t src slot);
+  let c0 = use_handle t ~core src in
+  let c1 = Machine.load t.machine ~core (slot_addr t src slot) in
   let ptr = Heap_obj.get_ref src slot in
-  if Addr.is_null ptr then (None, !cost)
+  if Addr.is_null ptr then begin
+    t.last_cost <- c0 + c1;
+    None
+  end
   else if Addr.has_color t.good ptr then begin
     Gc_stats.on_barrier t.stats ~slow:false;
-    (* Fast path: the good colour guarantees a current, to-space address. *)
-    match Heap.obj_at t.heap (Addr.addr ptr) with
-    | Some obj -> (Some obj, !cost)
+    (* Fast path: the good colour guarantees a current, to-space address.
+       The only allocation left on this path is the [Some] return itself
+       (the public API is option-shaped). *)
+    match Heap.page_of_addr t.heap (Addr.addr ptr) with
     | None ->
         raise
           (Invalid_handle
              (Printf.sprintf "good-coloured pointer 0x%x has no object"
                 (Addr.addr ptr)))
+    | Some page -> (
+        match
+          Page.find_object_exn page ~offset:(Addr.addr ptr - page.Page.start)
+        with
+        | obj ->
+            t.last_cost <- c0 + c1;
+            Some obj
+        | exception Not_found ->
+            raise
+              (Invalid_handle
+                 (Printf.sprintf "good-coloured pointer 0x%x has no object"
+                    (Addr.addr ptr))))
   end
   else begin
     (* Slow path: remap / mark / relocate, flag hotness, self-heal. *)
     Gc_stats.on_barrier t.stats ~slow:true;
-    cost := !cost + Cost.barrier_slow;
+    let cost = ref (c0 + c1 + Cost.barrier_slow) in
     let obj = resolve t ~who:(Mutator core) ~cost (Addr.addr ptr) in
     if t.phase = Marking then cost := !cost + mark_object t obj;
     cost := !cost + flag_hot t ~page:(page_of_obj t obj) obj;
     Heap_obj.set_ref src slot (Addr.make t.good obj.Heap_obj.addr);
     cost := !cost + Machine.store t.machine ~core (slot_addr t src slot);
-    (Some obj, !cost)
+    t.last_cost <- !cost;
+    Some obj
   end
 
 let store_ref t ~core (src : Heap_obj.t) ~slot target =
-  let cost = ref (use_handle t ~core src) in
-  (match target with
-  | None -> Heap_obj.set_ref src slot Addr.null
-  | Some obj ->
-      cost := !cost + use_handle t ~core obj;
-      (* Keep handle-published objects from hiding during marking. *)
-      if t.phase = Marking then cost := !cost + mark_object t obj;
-      Heap_obj.set_ref src slot (Addr.make t.good obj.Heap_obj.addr));
-  cost := !cost + Machine.store t.machine ~core (slot_addr t src slot);
-  !cost
+  let c0 = use_handle t ~core src in
+  let c1 =
+    match target with
+    | None ->
+        Heap_obj.set_ref src slot Addr.null;
+        0
+    | Some obj ->
+        let cu = use_handle t ~core obj in
+        (* Keep handle-published objects from hiding during marking. *)
+        let cm = if t.phase = Marking then mark_object t obj else 0 in
+        Heap_obj.set_ref src slot (Addr.make t.good obj.Heap_obj.addr);
+        cu + cm
+  in
+  c0 + c1 + Machine.store t.machine ~core (slot_addr t src slot)
 
 let alloc t ~core ~nrefs ~nwords =
   let lay = layout t in
@@ -497,10 +545,11 @@ let start_cycle t =
   t.allocated_since_cycle <- 0;
   t.mark_watermark <- Heap.obj_ids_issued t.heap;
   t.marked_at_cycle_start <- Gc_stats.objects_marked t.stats;
-  t.sink
-    (Gc_log.Cycle_start
-       { cycle = t.cycle_no; wall = t.wall_hint;
-         heap_used = Heap.used_bytes t.heap });
+  if not (Gc_log.is_null t.sink) then
+    t.sink
+      (Gc_log.Cycle_start
+         { cycle = t.cycle_no; wall = t.wall_hint;
+           heap_used = Heap.used_bytes t.heap });
   ignore (Gc_stats.on_cycle_start t.stats ~wall:t.wall_hint);
   Gc_stats.on_stw t.stats;
   t.mark_color <- Addr.next_mark_color t.mark_color;
@@ -509,7 +558,7 @@ let start_cycle t =
      pages that will be re-marked; pages still in EC keep their snapshot —
      it drives their pending evacuation. *)
   Heap.iter_pages t.heap (fun page ->
-      if page.Page.state = Page.Active then Page.reset_mark_state page);
+      if page.Page.state = Page.Active then Heap.reset_mark_state t.heap page);
   (* Fig. 3: under LAZYRELOCATE the deferred relocation pass runs at the
      start of this cycle. *)
   Vec.iter (fun page -> Vec.push t.relo_queue page) t.pending_ec;
@@ -517,20 +566,18 @@ let start_cycle t =
   (* Seed marking from roots.  Roots on in-EC pages are relocated first
      (the STW pause heals all roots). *)
   let cost = ref Cost.stw_pause in
-  let roots = t.roots () in
-  List.iter
-    (fun root ->
+  t.roots (fun root ->
       cost := !cost + Cost.root_fixup;
       let page = page_of_obj t root in
       if page.Page.state = Page.In_ec then
         cost := !cost + relocate t ~who:Gc root page;
-      cost := !cost + mark_object t root)
-    roots;
+      cost := !cost + mark_object t root);
   t.phase <- Marking;
-  t.sink
-    (Gc_log.Pause
-       { cycle = t.cycle_no; pause = Gc_log.STW1; cost = !cost;
-         wall = t.wall_hint });
+  if not (Gc_log.is_null t.sink) then
+    t.sink
+      (Gc_log.Pause
+         { cycle = t.cycle_no; pause = Gc_log.STW1; cost = !cost;
+           wall = t.wall_hint });
   sample_heap t;
   at_edge t Stw1_done;
   { gc = 0; stw = !cost }
@@ -649,16 +696,18 @@ let finish_mark t =
   at_edge t Mark_done;
   Gc_stats.on_stw t.stats;
   Gc_stats.on_stw t.stats;
-  t.sink
-    (Gc_log.Pause
-       { cycle = t.cycle_no; pause = Gc_log.STW2; cost = Cost.stw_pause;
-         wall = t.wall_hint });
-  t.sink
-    (Gc_log.Mark_end
-       { cycle = t.cycle_no;
-         marked_objects =
-           Gc_stats.objects_marked t.stats - t.marked_at_cycle_start;
-         wall = t.wall_hint });
+  if not (Gc_log.is_null t.sink) then begin
+    t.sink
+      (Gc_log.Pause
+         { cycle = t.cycle_no; pause = Gc_log.STW2; cost = Cost.stw_pause;
+           wall = t.wall_hint });
+    t.sink
+      (Gc_log.Mark_end
+         { cycle = t.cycle_no;
+           marked_objects =
+             Gc_stats.objects_marked t.stats - t.marked_at_cycle_start;
+           wall = t.wall_hint })
+  end;
   let cost = ref (2 * Cost.stw_pause) in
   (* Retire forwarding tables installed before this cycle: marking has
      remapped every live pointer into them, so their address ranges can be
@@ -691,37 +740,39 @@ let finish_mark t =
   cost := !cost + small_cost + medium_cost;
   Gc_stats.on_ec_selected t.stats ~small:(List.length small)
     ~medium:(List.length medium);
-  t.sink
-    (Gc_log.Ec_selected
-       { cycle = t.cycle_no; small = List.length small;
-         medium = List.length medium; wall = t.wall_hint });
+  if not (Gc_log.is_null t.sink) then
+    t.sink
+      (Gc_log.Ec_selected
+         { cycle = t.cycle_no; small = List.length small;
+           medium = List.length medium; wall = t.wall_hint });
   (* STW3: flip good colour to R; relocate roots pointing into EC. *)
   t.good <- Addr.R;
-  List.iter
-    (fun root ->
+  t.roots (fun root ->
       cost := !cost + Cost.root_fixup;
       let page = page_of_obj t root in
       if page.Page.state = Page.In_ec then
-        cost := !cost + relocate t ~who:Gc root page)
-    (t.roots ());
+        cost := !cost + relocate t ~who:Gc root page);
   let ec = small @ medium in
-  t.sink
-    (Gc_log.Pause
-       { cycle = t.cycle_no; pause = Gc_log.STW3; cost = Cost.stw_pause;
-         wall = t.wall_hint });
+  if not (Gc_log.is_null t.sink) then
+    t.sink
+      (Gc_log.Pause
+         { cycle = t.cycle_no; pause = Gc_log.STW3; cost = Cost.stw_pause;
+           wall = t.wall_hint });
   if t.config.Config.lazy_relocate then begin
     (* Fig. 3: hand the whole relocation set to the mutators until the next
        cycle starts. *)
     List.iter (fun p -> Vec.push t.pending_ec p) ec;
-    t.sink
-      (Gc_log.Relocation_deferred
-         { cycle = t.cycle_no; pages = List.length ec; wall = t.wall_hint });
+    if not (Gc_log.is_null t.sink) then
+      t.sink
+        (Gc_log.Relocation_deferred
+           { cycle = t.cycle_no; pages = List.length ec; wall = t.wall_hint });
     at_edge t Stw3_done;
     t.phase <- Idle;
-    t.sink
-      (Gc_log.Cycle_end
-         { cycle = t.cycle_no; wall = t.wall_hint;
-           heap_used = Heap.used_bytes t.heap });
+    if not (Gc_log.is_null t.sink) then
+      t.sink
+        (Gc_log.Cycle_end
+           { cycle = t.cycle_no; wall = t.wall_hint;
+             heap_used = Heap.used_bytes t.heap });
     sample_heap t;
     at_edge t Cycle_done
   end
@@ -735,10 +786,11 @@ let finish_mark t =
 (* Free a fully evacuated page and keep its forwarding table reachable for
    stale-pointer remapping until retirement. *)
 let release_page t (page : Page.t) =
-  t.sink
-    (Gc_log.Page_freed
-       { cycle = t.cycle_no; page_id = page.Page.id; bytes = page.Page.size;
-         wall = t.wall_hint });
+  if not (Gc_log.is_null t.sink) then
+    t.sink
+      (Gc_log.Page_freed
+         { cycle = t.cycle_no; page_id = page.Page.id; bytes = page.Page.size;
+           wall = t.wall_hint });
   Heap.free_page t.heap page;
   let granule_bytes = Layout.granule (layout t) in
   let first = page.Page.start / granule_bytes in
@@ -794,10 +846,11 @@ let gc_work t ~budget =
       | Relocating ->
           (* Queue drained and no page in progress: the cycle is done. *)
           t.phase <- Idle;
-          t.sink
-            (Gc_log.Cycle_end
-               { cycle = t.cycle_no; wall = t.wall_hint;
-                 heap_used = Heap.used_bytes t.heap });
+          if not (Gc_log.is_null t.sink) then
+            t.sink
+              (Gc_log.Cycle_end
+                 { cycle = t.cycle_no; wall = t.wall_hint;
+                   heap_used = Heap.used_bytes t.heap });
           sample_heap t;
           at_edge t Cycle_done;
           continue_ := false
@@ -905,7 +958,7 @@ let verify t =
         obj.Heap_obj.refs
     end
   in
-  List.iter trace (t.roots ());
+  t.roots trace;
   match !errors with [] -> Ok () | es -> Error (List.rev es)
 
 let drain t =

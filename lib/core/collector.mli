@@ -49,12 +49,17 @@ val create :
   machine:Machine.t ->
   config:Config.t ->
   gc_core:int ->
-  roots:(unit -> Heap_obj.t list) ->
+  roots:((Heap_obj.t -> unit) -> unit) ->
   unit ->
   t
 (** [sink] receives structured GC events ({!Gc_log}); defaults to
     {!Gc_log.null_sink}.  Fan out to several consumers (event log,
-    telemetry, ...) with {!Gc_log.tee}. *)
+    telemetry, ...) with {!Gc_log.tee}.
+
+    [roots] enumerates the current root set by applying its callback to
+    every root, in a stable order (determinism depends on it).  An iterator
+    rather than a list so enumeration allocates nothing per root — STW
+    pauses walk roots on the simulation hot path. *)
 
 val set_sink : t -> Gc_log.sink -> unit
 (** Replace the event sink.  Lets instrumentation (e.g.
@@ -99,7 +104,8 @@ val set_phase_hook : t -> (phase_edge -> unit) option -> unit
 (** {2 Read-only state accessors (for the verifier)} *)
 
 val roots_list : t -> Heap_obj.t list
-(** The current root set, exactly as the collector sees it. *)
+(** The current root set, exactly as the collector sees it (materialised
+    from the root iterator — convenience for the verifier and tests). *)
 
 val mark_watermark : t -> int
 (** The heap's {!Heap.obj_ids_issued} snapshot taken at the last STW1:
@@ -134,12 +140,17 @@ val use_handle : t -> core:int -> Heap_obj.t -> int
     evacuation-candidate page the mutator relocates it now, in access order —
     and flags hotness.  Returns the cycle cost. *)
 
-val load_ref :
-  t -> core:int -> Heap_obj.t -> slot:int -> Heap_obj.t option * int
+val load_ref : t -> core:int -> Heap_obj.t -> slot:int -> Heap_obj.t option
 (** [load_ref t ~core src ~slot] loads reference slot [slot] of [src] through
     the load barrier: good colour is the no-extra-work fast path; otherwise
     the slow path remaps/marks/relocates, flags hotness, and self-heals the
-    slot.  Returns the referent (None for null) and the cycle cost. *)
+    slot.  Returns the referent (None for null); the cycle cost is left in
+    {!last_cost} rather than returned, so the hot path never boxes a
+    tuple. *)
+
+val last_cost : t -> int
+(** Cycle cost of the most recent {!load_ref} call.  Read it immediately
+    after the call — any later barrier overwrites it. *)
 
 val store_ref :
   t -> core:int -> Heap_obj.t -> slot:int -> Heap_obj.t option -> int

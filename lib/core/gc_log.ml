@@ -13,6 +13,8 @@ type sink = event -> unit
 
 let null_sink (_ : event) = ()
 
+let is_null (s : sink) = s == null_sink
+
 (* Every sink sees every event even when an earlier sink raises: a
    diagnostic consumer (e.g. a verifier reporting a violation) must not be
    able to starve the consumers after it in the list.  The first exception

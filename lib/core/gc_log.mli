@@ -31,6 +31,11 @@ type sink = event -> unit
 val null_sink : sink
 (** Drops every event (the collector's default). *)
 
+val is_null : sink -> bool
+(** [is_null s] is true iff [s] is physically {!null_sink}.  Emitters use
+    it to skip constructing event records nobody will see, keeping the
+    no-sink path allocation-free. *)
+
 val tee : sink list -> sink
 (** Fan one event stream out to several sinks, called in list order.
     Delivery is all-or-nothing per sink, not per event: if a sink raises,

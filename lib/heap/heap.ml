@@ -14,7 +14,17 @@ type t = {
   pages : Page.t Vec.t;  (* all non-freed pages (compacted lazily) *)
   mutable next_page_id : int;
   mutable next_obj_id : int;
+  (* Running totals kept in step with per-page state so the hot paths and
+     telemetry sampling never fold over the page vector: [hot_total] is the
+     sum of [Page.hot_bytes] over non-freed pages (all hot flagging and
+     epoch resets go through {!flag_hot}/{!reset_mark_state} below), and
+     [page_counts] counts non-freed pages per size class. *)
+  mutable hot_total : int;
+  page_counts : int array;  (* indexed by class_index *)
 }
+
+let class_index (cls : Layout.size_class) =
+  match cls with Small -> 0 | Medium -> 1 | Large -> 2
 
 let create ?(layout = Layout.paper) ~max_bytes () =
   {
@@ -29,12 +39,15 @@ let create ?(layout = Layout.paper) ~max_bytes () =
     pages = Vec.create ();
     next_page_id = 0;
     next_obj_id = 0;
+    hot_total = 0;
+    page_counts = Array.make 3 0;
   }
 
-let layout t = t.layout
-let max_bytes t = t.max_bytes
-let used_bytes t = t.used
-let used_ratio t = float_of_int t.used /. float_of_int t.max_bytes
+let[@inline] layout t = t.layout
+let[@inline] max_bytes t = t.max_bytes
+let[@inline] used_bytes t = t.used
+let[@inline] used_ratio t = float_of_int t.used /. float_of_int t.max_bytes
+let[@inline] hot_bytes t = t.hot_total
 
 let address_space_bytes t = t.next_granule * Layout.granule t.layout
 
@@ -104,6 +117,7 @@ let alloc_page ?(force = false) t ~cls ~bytes ~birth_cycle =
     Page_table.register t.page_table page;
     Vec.push t.pages page;
     t.used <- t.used + size;
+    t.page_counts.(class_index cls) <- t.page_counts.(class_index cls) + 1;
     Some page
   end
 
@@ -118,6 +132,9 @@ let free_page t (page : Page.t) =
   Page_table.unregister t.page_table page;
   page.Page.state <- Page.Freed;
   t.used <- t.used - page.Page.size;
+  t.hot_total <- t.hot_total - page.Page.hot_bytes;
+  t.page_counts.(class_index page.Page.cls) <-
+    t.page_counts.(class_index page.Page.cls) - 1;
   (* Keep the page vector from accumulating tombstones: compact once more
      than half of a reasonably large vector is freed pages. *)
   if Vec.length t.pages > 256 then begin
@@ -170,10 +187,16 @@ let obj_at t addr =
 let iter_pages t f =
   Vec.iter (fun p -> if p.Page.state <> Page.Freed then f p) t.pages
 
-let page_count t cls =
-  let n = ref 0 in
-  iter_pages t (fun p -> if p.Page.cls = cls then incr n);
-  !n
+let page_count t cls = t.page_counts.(class_index cls)
+
+let flag_hot t (page : Page.t) obj =
+  let newly = Page.flag_hot page obj in
+  if newly then t.hot_total <- t.hot_total + obj.Heap_obj.size;
+  newly
+
+let reset_mark_state t (page : Page.t) =
+  t.hot_total <- t.hot_total - page.Page.hot_bytes;
+  Page.reset_mark_state page
 
 let pp_stats fmt t =
   Format.fprintf fmt "heap{used=%dK/%dK pages:s=%d,m=%d,l=%d}" (t.used / 1024)

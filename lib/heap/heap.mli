@@ -68,7 +68,25 @@ val iter_pages : t -> (Page.t -> unit) -> unit
 (** Iterate all non-freed pages. *)
 
 val page_count : t -> Layout.size_class -> int
-(** Number of non-freed pages of a class. *)
+(** Number of non-freed pages of a class.  O(1) — maintained as a running
+    counter at page allocation/free. *)
+
+(** {2 Hot-byte accounting}
+
+    The heap keeps a running total of [Page.hot_bytes] over non-freed
+    pages, so telemetry sampling never folds over the page vector.  For the
+    total to stay exact, hot flagging and mark-state resets of heap pages
+    must go through these wrappers (the collector's only two call sites
+    do); reclamation is accounted inside {!free_page}. *)
+
+val hot_bytes : t -> int
+(** Sum of {!Page.hot_bytes} over all non-freed pages, in O(1). *)
+
+val flag_hot : t -> Page.t -> Heap_obj.t -> bool
+(** {!Page.flag_hot} plus running-total maintenance. *)
+
+val reset_mark_state : t -> Page.t -> unit
+(** {!Page.reset_mark_state} plus running-total maintenance. *)
 
 val fresh_obj_id : t -> int
 (** Next object identity (also used by the collector when splitting objects

@@ -6,6 +6,7 @@ type t = {
   words : int;
   mutable payload : int array;
   mutable relocations : int;
+  mutable page_id : int;
 }
 
 let no_payload : int array = [||]
@@ -19,6 +20,7 @@ let create ~layout ~id ~addr ~nrefs ~nwords =
     words = nwords;
     payload = no_payload;
     relocations = 0;
+    page_id = -1;
   }
 
 let nrefs t = Array.length t.refs

@@ -18,6 +18,13 @@ type t = {
           never read or written — e.g. pure garbage — cost no OCaml array);
           use {!get_word}/{!set_word} *)
   mutable relocations : int;  (** times this object has been moved *)
+  mutable page_id : int;
+      (** id of the page whose object table currently registers this object,
+          -1 when unregistered — maintained by {!Page.add_object} /
+          {!Page.remove_object}.  Because an object's table key is always
+          derived from its current [addr], [page_id = page.id] is equivalent
+          to "the table lookup at this object's offset returns it", which is
+          what makes the barrier's handle-validity check O(1). *)
 }
 
 val create : layout:Layout.t -> id:int -> addr:int -> nrefs:int -> nwords:int -> t

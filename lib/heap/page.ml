@@ -19,9 +19,29 @@ type t = {
   mutable hot_bytes : int;
   mutable is_alloc_target : bool;
   fwd : Fwd_table.t;
+  (* Last-find memo for [find_object_exn]: [memo_obj] is the object last
+     found at [memo_off] (-1 = empty).  Invalidated whenever the object
+     table changes, so a memo hit is always current; purely an accelerator
+     for the barrier hot path — it skips the hash walk, nothing else. *)
+  mutable memo_off : int;
+  mutable memo_obj : Heap_obj.t;
 }
 
 let word_bits layout size = size / layout.Layout.word_bytes
+
+(* Placeholder for an empty [memo_obj]; never returned (guarded by
+   [memo_off = -1] and offsets are non-negative). *)
+let no_obj : Heap_obj.t =
+  {
+    Heap_obj.id = -1;
+    addr = -1;
+    size = 0;
+    refs = [||];
+    words = 0;
+    payload = [||];
+    relocations = 0;
+    page_id = -1;
+  }
 
 let create ~layout ~id ~cls ~start ~size ~birth_cycle =
   let bits = word_bits layout size in
@@ -42,6 +62,8 @@ let create ~layout ~id ~cls ~start ~size ~birth_cycle =
     hot_bytes = 0;
     is_alloc_target = false;
     fwd = Fwd_table.create ();
+    memo_off = -1;
+    memo_obj = no_obj;
   }
 
 let bump_alloc t bytes =
@@ -60,12 +82,25 @@ let offset_of_addr t addr =
 let contains t addr = addr >= t.start && addr < t.start + t.size
 
 let add_object t obj =
+  t.memo_off <- -1;
+  obj.Heap_obj.page_id <- t.id;
   Hashtbl.replace t.objects (offset_of_addr t obj.Heap_obj.addr) obj
 
 let remove_object t obj =
+  t.memo_off <- -1;
+  obj.Heap_obj.page_id <- -1;
   Hashtbl.remove t.objects (offset_of_addr t obj.Heap_obj.addr)
 
 let find_object t ~offset = Hashtbl.find_opt t.objects offset
+
+let find_object_exn t ~offset =
+  if offset = t.memo_off then t.memo_obj
+  else begin
+    let obj = Hashtbl.find t.objects offset in
+    t.memo_off <- offset;
+    t.memo_obj <- obj;
+    obj
+  end
 
 let free_bytes t = t.size - t.top
 

@@ -32,6 +32,10 @@ type t = {
   mutable is_alloc_target : bool;
       (** currently a bump-allocation / relocation target; excluded from EC *)
   fwd : Fwd_table.t;
+  mutable memo_off : int;
+      (** last-find memo offset for {!find_object_exn}; -1 = empty.
+          Invalidated by {!add_object}/{!remove_object}. *)
+  mutable memo_obj : Heap_obj.t;  (** object last found at [memo_off] *)
 }
 
 val create :
@@ -53,6 +57,12 @@ val add_object : t -> Heap_obj.t -> unit
 val remove_object : t -> Heap_obj.t -> unit
 
 val find_object : t -> offset:int -> Heap_obj.t option
+
+val find_object_exn : t -> offset:int -> Heap_obj.t
+(** Allocation-free {!find_object} for the barrier hot path: no option
+    wrapping, and repeated lookups of the same offset hit a last-find memo
+    instead of the hash table.
+    @raise Not_found if no object starts at [offset]. *)
 
 val offset_of_addr : t -> int -> int
 (** Byte offset of an address within the page.

@@ -3,11 +3,23 @@ module Vec = Hcsgc_util.Vec
 type t = {
   granule_bytes : int;
   slots : Page.t option Vec.t;
+  (* Last-lookup memo: the result of [page_of_addr] for granule [last_g]
+     ([min_int] = empty).  Invalidated by [register]/[unregister], so a hit
+     is always the same stored option the slot lookup would return — this
+     only skips the bounds-checked vector read on the barrier hot path. *)
+  mutable last_g : int;
+  mutable last_p : Page.t option;
 }
 
-let create ~layout = { granule_bytes = Layout.granule layout; slots = Vec.create () }
+let create ~layout =
+  {
+    granule_bytes = Layout.granule layout;
+    slots = Vec.create ();
+    last_g = min_int;
+    last_p = None;
+  }
 
-let granule_of_addr t addr = addr / t.granule_bytes
+let[@inline] granule_of_addr t addr = addr / t.granule_bytes
 
 let ensure t n =
   while Vec.length t.slots <= n do
@@ -20,6 +32,7 @@ let granules_of_page t (page : Page.t) =
   (first, last)
 
 let register t page =
+  t.last_g <- min_int;
   let first, last = granules_of_page t page in
   ensure t last;
   for g = first to last do
@@ -27,6 +40,7 @@ let register t page =
   done
 
 let unregister t page =
+  t.last_g <- min_int;
   let first, last = granules_of_page t page in
   ensure t last;
   for g = first to last do
@@ -39,4 +53,10 @@ let unregister t page =
 
 let page_of_addr t addr =
   let g = granule_of_addr t addr in
-  if g < 0 || g >= Vec.length t.slots then None else Vec.get t.slots g
+  if g = t.last_g then t.last_p
+  else begin
+    let p = if g < 0 || g >= Vec.length t.slots then None else Vec.get t.slots g in
+    t.last_g <- g;
+    t.last_p <- p;
+    p
+  end

@@ -14,6 +14,13 @@ type t = {
   (* LRU stamps, same indexing; larger = more recent *)
   stamps : int array;
   mutable clock : int;
+  (* Last-access memo: the slot where [last_line] was last found.  Purely an
+     accelerator — a hit is validated against [tags] (the line may have been
+     evicted since), and the fast path performs exactly the LRU [touch] the
+     full associative probe would, so cache state evolution is bit-identical
+     with or without memo hits. *)
+  mutable last_line : int;
+  mutable last_slot : int;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -37,24 +44,32 @@ let create geom =
     tags = Array.make (sets * geom.ways) (-1);
     stamps = Array.make (sets * geom.ways) 0;
     clock = 0;
+    last_line = -1;
+    last_slot = 0;
   }
 
 let geometry t = t.geom
 
-let line_of_addr t addr = addr lsr t.line_shift
+let[@inline] line_of_addr t addr = addr lsr t.line_shift
 
-let base_of_line t line = (line land t.set_mask) * t.geom.ways
+let[@inline] base_of_line t line = (line land t.set_mask) * t.geom.ways
 
+(* A plain counting loop, not a local recursive function: a [let rec]
+   closure here captures [t]/[line]/[base] and is allocated per probe, which
+   dominated the host-side allocation of the whole simulation hot path.
+   (The refs below compile to mutable locals — no allocation.) *)
 let find t line =
   let base = base_of_line t line in
-  let rec go w =
-    if w = t.geom.ways then -1
-    else if Array.unsafe_get t.tags (base + w) = line then base + w
-    else go (w + 1)
-  in
-  go 0
+  let ways = t.geom.ways in
+  let slot = ref (-1) in
+  let w = ref 0 in
+  while !slot < 0 && !w < ways do
+    if Array.unsafe_get t.tags (base + !w) = line then slot := base + !w;
+    incr w
+  done;
+  !slot
 
-let touch t slot =
+let[@inline] touch t slot =
   t.clock <- t.clock + 1;
   Array.unsafe_set t.stamps slot t.clock
 
@@ -78,30 +93,54 @@ let victim t line =
   !best
 
 let access t line =
-  let slot = find t line in
-  if slot >= 0 then begin
-    touch t slot;
+  (* Memo fast path: repeated access to the most recent line skips the
+     associative probe; the tag check catches eviction since. *)
+  if line = t.last_line && Array.unsafe_get t.tags t.last_slot = line then begin
+    touch t t.last_slot;
     true
   end
   else begin
-    let slot = victim t line in
-    Array.unsafe_set t.tags slot line;
-    touch t slot;
-    false
+    let slot = find t line in
+    if slot >= 0 then begin
+      t.last_line <- line;
+      t.last_slot <- slot;
+      touch t slot;
+      true
+    end
+    else begin
+      let slot = victim t line in
+      Array.unsafe_set t.tags slot line;
+      t.last_line <- line;
+      t.last_slot <- slot;
+      touch t slot;
+      false
+    end
   end
 
 let probe t line = find t line >= 0
 
 let insert t line =
-  let slot = find t line in
-  if slot >= 0 then touch t slot
+  if line = t.last_line && Array.unsafe_get t.tags t.last_slot = line then
+    touch t t.last_slot
   else begin
-    let slot = victim t line in
-    Array.unsafe_set t.tags slot line;
-    touch t slot
+    let slot = find t line in
+    if slot >= 0 then begin
+      t.last_line <- line;
+      t.last_slot <- slot;
+      touch t slot
+    end
+    else begin
+      let slot = victim t line in
+      Array.unsafe_set t.tags slot line;
+      t.last_line <- line;
+      t.last_slot <- slot;
+      touch t slot
+    end
   end
 
 let invalidate_all t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.stamps 0 (Array.length t.stamps) 0;
-  t.clock <- 0
+  t.clock <- 0;
+  t.last_line <- -1;
+  t.last_slot <- 0

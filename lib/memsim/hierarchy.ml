@@ -48,6 +48,7 @@ type t = {
   c2 : Cache.t;
   c3 : Cache.t;
   pf : Prefetcher.t;
+  pf_buf : int array;  (* preallocated Prefetcher.observe_into target *)
   mutable loads : int;
   mutable stores : int;
   mutable l1_misses : int;
@@ -61,12 +62,14 @@ let create cfg =
     cfg.l1.Cache.line_bytes <> cfg.l2.Cache.line_bytes
     || cfg.l2.Cache.line_bytes <> cfg.llc.Cache.line_bytes
   then invalid_arg "Hierarchy.create: all levels must share a line size";
+  let pf = Prefetcher.create () in
   {
     cfg;
     c1 = Cache.create cfg.l1;
     c2 = Cache.create cfg.l2;
     c3 = Cache.create cfg.llc;
-    pf = Prefetcher.create ();
+    pf;
+    pf_buf = Array.make (Prefetcher.degree pf) 0;
     loads = 0;
     stores = 0;
     l1_misses = 0;
@@ -80,15 +83,20 @@ let config t = t.cfg
 let line_bytes t = t.cfg.l1.Cache.line_bytes
 
 (* Fill [line] into every level without demand accounting. *)
-let prefetch_fill t line =
+let[@inline] prefetch_fill t line =
   Cache.insert t.c3 line;
   Cache.insert t.c2 line;
   Cache.insert t.c1 line;
   t.prefetches <- t.prefetches + 1
 
 let run_prefetcher t line =
-  if t.cfg.prefetch then
-    List.iter (fun l -> if l >= 0 then prefetch_fill t l) (Prefetcher.observe t.pf line)
+  if t.cfg.prefetch then begin
+    let n = Prefetcher.observe_into t.pf line t.pf_buf in
+    for i = 0 to n - 1 do
+      let l = Array.unsafe_get t.pf_buf i in
+      if l >= 0 then prefetch_fill t l
+    done
+  end
 
 (* Demand access for the line; returns latency and maintains inclusion. *)
 let demand t line ~is_load =
@@ -120,20 +128,38 @@ let store t addr =
   run_prefetcher t line;
   t.cfg.lat_store
 
-let range_fold t addr bytes f =
+(* Direct loops over the line range, repeating the exact per-line sequence
+   of [load]/[store]; replaces a closure-per-call [range_fold]. *)
+let load_range t addr bytes =
   if bytes <= 0 then 0
   else begin
     let lb = line_bytes t in
     let first = addr / lb and last = (addr + bytes - 1) / lb in
     let total = ref 0 in
     for line = first to last do
-      total := !total + f (line * lb)
+      t.loads <- t.loads + 1;
+      let lat = demand t line ~is_load:true in
+      run_prefetcher t line;
+      total := !total + lat
     done;
     !total
   end
 
-let load_range t addr bytes = range_fold t addr bytes (load t)
-let store_range t addr bytes = range_fold t addr bytes (store t)
+let store_range t addr bytes =
+  if bytes <= 0 then 0
+  else begin
+    let lb = line_bytes t in
+    let first = addr / lb and last = (addr + bytes - 1) / lb in
+    let lat_store = t.cfg.lat_store in
+    let total = ref 0 in
+    for line = first to last do
+      t.stores <- t.stores + 1;
+      ignore (demand t line ~is_load:false);
+      run_prefetcher t line;
+      total := !total + lat_store
+    done;
+    !total
+  end
 
 let counters t =
   {

@@ -2,6 +2,7 @@ type core = {
   l1 : Cache.t;
   l2 : Cache.t;
   pf : Prefetcher.t;
+  pf_buf : int array;  (* preallocated Prefetcher.observe_into target *)
   tlb : Cache.t option;
   mutable c_tlbm : int;
   mutable c_loads : int;
@@ -32,10 +33,12 @@ let create ?(cfg = Hierarchy.default_config) ~cores () =
     llc = Cache.create cfg.Hierarchy.llc;
     core_arr =
       Array.init cores (fun _ ->
+          let pf = Prefetcher.create () in
           {
             l1 = Cache.create cfg.Hierarchy.l1;
             l2 = Cache.create cfg.Hierarchy.l2;
-            pf = Prefetcher.create ();
+            pf;
+            pf_buf = Array.make (Prefetcher.degree pf) 0;
             tlb =
               (if cfg.Hierarchy.tlb then
                  (* A TLB is a cache of page translations: model it as a
@@ -75,7 +78,7 @@ let core t i =
     invalid_arg "Machine: core index out of range";
   t.core_arr.(i)
 
-let prefetch_fill t c line =
+let[@inline] prefetch_fill t c line =
   Cache.insert t.llc line;
   Cache.insert c.l2 line;
   Cache.insert c.l1 line;
@@ -83,10 +86,13 @@ let prefetch_fill t c line =
   c.c_pf <- c.c_pf + 1
 
 let run_prefetcher t c line =
-  if t.cfg.Hierarchy.prefetch then
-    List.iter
-      (fun l -> if l >= 0 then prefetch_fill t c l)
-      (Prefetcher.observe c.pf line)
+  if t.cfg.Hierarchy.prefetch then begin
+    let n = Prefetcher.observe_into c.pf line c.pf_buf in
+    for i = 0 to n - 1 do
+      let l = Array.unsafe_get c.pf_buf i in
+      if l >= 0 then prefetch_fill t c l
+    done
+  end
 
 let demand t c line ~is_load =
   if Cache.access c.l1 line then t.cfg.Hierarchy.lat_l1
@@ -113,7 +119,7 @@ let demand t c line ~is_load =
   end
 
 (* Translate [addr]: 0 extra cycles on a dTLB hit, a page walk on a miss. *)
-let translate t c addr =
+let[@inline] translate t c addr =
   match c.tlb with
   | None -> 0
   | Some tlb ->
@@ -144,20 +150,46 @@ let store t ~core:i addr =
   run_prefetcher t c line;
   walk + t.cfg.Hierarchy.lat_store
 
-let range_fold t addr bytes f =
+(* The range walks repeat the exact per-line sequence of [load]/[store]
+   (counters, translation, demand, prefetcher), but resolve the core once
+   and run a direct loop — the closure-per-call [range_fold]/partial
+   application this replaces dominated the GC relocation copy path. *)
+let load_range t ~core:i addr bytes =
   if bytes <= 0 then 0
   else begin
+    let c = core t i in
     let lb = line_bytes t in
     let first = addr / lb and last = (addr + bytes - 1) / lb in
     let total = ref 0 in
     for line = first to last do
-      total := !total + f (line * lb)
+      t.loads <- t.loads + 1;
+      c.c_loads <- c.c_loads + 1;
+      let walk = translate t c (line * lb) in
+      let lat = demand t c line ~is_load:true in
+      run_prefetcher t c line;
+      total := !total + walk + lat
     done;
     !total
   end
 
-let load_range t ~core addr bytes = range_fold t addr bytes (load t ~core)
-let store_range t ~core addr bytes = range_fold t addr bytes (store t ~core)
+let store_range t ~core:i addr bytes =
+  if bytes <= 0 then 0
+  else begin
+    let c = core t i in
+    let lb = line_bytes t in
+    let first = addr / lb and last = (addr + bytes - 1) / lb in
+    let lat_store = t.cfg.Hierarchy.lat_store in
+    let total = ref 0 in
+    for line = first to last do
+      t.stores <- t.stores + 1;
+      c.c_stores <- c.c_stores + 1;
+      let walk = translate t c (line * lb) in
+      ignore (demand t c line ~is_load:false);
+      run_prefetcher t c line;
+      total := !total + walk + lat_store
+    done;
+    !total
+  end
 
 let counters t =
   {

@@ -21,6 +21,8 @@ let create ?(streams = 16) ?(degree = 4) ?(confirm = 2) () =
     clock = 0;
   }
 
+let degree t = t.degree
+
 let reset t =
   Array.iter
     (fun s ->
@@ -31,38 +33,64 @@ let reset t =
     t.streams;
   t.clock <- 0
 
-let observe t line =
+(* The hot path: called once per demand access by the cache simulators.
+   Writes at most [degree t] prefetch line addresses into [buf] and returns
+   how many were written; allocation-free (the scans are index loops, no
+   closures or options). *)
+let observe_into t line buf =
+  if Array.length buf < t.degree then
+    invalid_arg "Prefetcher.observe_into: buffer shorter than degree";
   t.clock <- t.clock + 1;
+  let streams = t.streams in
+  let n = Array.length streams in
   (* Look for a stream whose expected next line matches. *)
-  let matched = ref None in
-  Array.iter
-    (fun s ->
-      if !matched = None && s.last >= 0 then begin
-        let delta = line - s.last in
-        if delta = 1 || delta = -1 then
-          if s.dir = 0 || s.dir = delta then matched := Some (s, delta)
-      end)
-    t.streams;
-  match !matched with
-  | Some (s, delta) ->
-      s.last <- line;
-      s.dir <- delta;
-      s.hits <- s.hits + 1;
-      s.lru <- t.clock;
-      if s.hits >= t.confirm then
-        List.init t.degree (fun i -> line + (delta * (i + 1)))
-      else []
-  | None ->
-      (* Allocate (or steal LRU) a slot for a potential new stream. *)
-      let victim = ref t.streams.(0) in
-      Array.iter
-        (fun s ->
-          if s.last = -1 && !victim.last <> -1 then victim := s
-          else if s.last <> -1 && !victim.last <> -1 && s.lru < !victim.lru then
-            victim := s)
-        t.streams;
-      !victim.last <- line;
-      !victim.dir <- 0;
-      !victim.hits <- 0;
-      !victim.lru <- t.clock;
-      []
+  let matched = ref (-1) in
+  let mdelta = ref 0 in
+  let i = ref 0 in
+  while !matched < 0 && !i < n do
+    let s = Array.unsafe_get streams !i in
+    if s.last >= 0 then begin
+      let delta = line - s.last in
+      if (delta = 1 || delta = -1) && (s.dir = 0 || s.dir = delta) then begin
+        matched := !i;
+        mdelta := delta
+      end
+    end;
+    incr i
+  done;
+  if !matched >= 0 then begin
+    let s = Array.unsafe_get streams !matched in
+    let delta = !mdelta in
+    s.last <- line;
+    s.dir <- delta;
+    s.hits <- s.hits + 1;
+    s.lru <- t.clock;
+    if s.hits >= t.confirm then begin
+      for i = 0 to t.degree - 1 do
+        Array.unsafe_set buf i (line + (delta * (i + 1)))
+      done;
+      t.degree
+    end
+    else 0
+  end
+  else begin
+    (* Allocate (or steal LRU) a slot for a potential new stream. *)
+    let victim = ref streams.(0) in
+    for i = 0 to n - 1 do
+      let s = Array.unsafe_get streams i in
+      if s.last = -1 && !victim.last <> -1 then victim := s
+      else if s.last <> -1 && !victim.last <> -1 && s.lru < !victim.lru then
+        victim := s
+    done;
+    let v = !victim in
+    v.last <- line;
+    v.dir <- 0;
+    v.hits <- 0;
+    v.lru <- t.clock;
+    0
+  end
+
+let observe t line =
+  let buf = Array.make t.degree 0 in
+  let n = observe_into t line buf in
+  List.init n (fun i -> buf.(i))

@@ -77,7 +77,13 @@ let create ?layout ?machine_config ?(saturated = false) ?(gc_share = 1.0)
   in
   let roots = Vec.create () in
   let locals = Vec.create () in
-  let root_fn () = Vec.to_list roots @ Vec.to_list locals in
+  (* Root iterator: named roots first, then local frames — the same stable
+     order the old list-building callback produced, without the per-pause
+     list construction. *)
+  let root_fn f =
+    Vec.iter f roots;
+    Vec.iter f locals
+  in
   let collector =
     let sink =
       Option.map Hcsgc_core.Gc_log.sink_of_recorder recorder
@@ -165,13 +171,11 @@ let take_sample t =
       let module H = Hcsgc_memsim.Hierarchy in
       let c = Machine.counters t.machine in
       let st = Collector.stats t.collector in
-      let hot = ref 0 in
-      Heap.iter_pages t.heap (fun p -> hot := !hot + p.Page.hot_bytes);
       Recorder.sample r
         {
           Recorder.wall = wall_cycles t;
           heap_used = Heap.used_bytes t.heap;
-          hot_bytes = !hot;
+          hot_bytes = Heap.hot_bytes t.heap;
           loads = c.H.loads;
           stores = c.H.stores;
           l1_misses = c.H.l1_misses;
@@ -262,8 +266,8 @@ let alloc ?(m = 0) t ~nrefs ~nwords =
 
 let load_ref ?(m = 0) t obj slot =
   check_m t m;
-  let target, cost = Collector.load_ref t.collector ~core:m obj ~slot in
-  charge ~m t cost;
+  let target = Collector.load_ref t.collector ~core:m obj ~slot in
+  charge ~m t (Collector.last_cost t.collector);
   target
 
 let store_ref ?(m = 0) t obj slot target =
@@ -305,10 +309,7 @@ let work ?(m = 0) t n =
 
 let add_root t obj = Vec.push t.roots obj
 
-let remove_root t obj =
-  let keep = Vec.to_list t.roots |> List.filter (fun o -> o != obj) in
-  Vec.clear t.roots;
-  List.iter (Vec.push t.roots) keep
+let remove_root t obj = Vec.remove t.roots obj
 
 let push_local t obj = Vec.push t.locals obj
 

@@ -18,6 +18,8 @@ let get t i =
   check t i;
   Array.unsafe_get t.data i
 
+let unsafe_get t i = Array.unsafe_get t.data i
+
 let set t i x =
   check t i;
   Array.unsafe_set t.data i x
@@ -42,6 +44,19 @@ let pop t =
   end
 
 let clear t = t.len <- 0
+
+let remove t x =
+  (* Compact the survivors leftwards in one pass; relative order is
+     preserved (callers rely on it for deterministic iteration). *)
+  let j = ref 0 in
+  for i = 0 to t.len - 1 do
+    let v = Array.unsafe_get t.data i in
+    if v != x then begin
+      if !j < i then Array.unsafe_set t.data !j v;
+      incr j
+    end
+  done;
+  t.len <- !j
 
 let iter f t =
   for i = 0 to t.len - 1 do

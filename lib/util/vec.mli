@@ -18,6 +18,10 @@ val is_empty : 'a t -> bool
 val get : 'a t -> int -> 'a
 (** @raise Invalid_argument if out of range. *)
 
+val unsafe_get : 'a t -> int -> 'a
+(** [get] without the bounds check — for hot loops over [0, length); the
+    behaviour on an out-of-range index is undefined. *)
+
 val set : 'a t -> int -> 'a -> unit
 (** @raise Invalid_argument if out of range. *)
 
@@ -29,6 +33,11 @@ val pop : 'a t -> 'a option
 
 val clear : 'a t -> unit
 (** Logical reset to length 0; capacity is retained. *)
+
+val remove : 'a t -> 'a -> unit
+(** [remove t x] deletes every element physically equal ([==]) to [x],
+    in place, preserving the relative order of the survivors.  O(length),
+    allocation-free. *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit

@@ -42,7 +42,7 @@ let color_window_sequence () =
   let machine = Hcsgc_memsim.Machine.create ~cores:1 () in
   let col =
     Collector.create ~heap ~machine ~config:Config.zgc ~gc_core:0
-      ~roots:(fun () -> [])
+      ~roots:(fun _f -> ())
       ()
   in
   check Alcotest.int "no cycles yet" 0 (Collector.cycle_number col);
