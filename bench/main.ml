@@ -82,93 +82,105 @@ let micro () =
 type artefact = {
   id : string;
   what : string;
-  run : runs:int option -> full:bool -> jobs:int -> unit;
+  run :
+    runs:int option ->
+    full:bool ->
+    jobs:int ->
+    cache:E.Runner.cache option ->
+    scheduling:[ `Cost | `Fifo ] ->
+    unit;
 }
 
 let scale_or ~full fast_scale full_scale = if full then full_scale else fast_scale
 
 let or_runs r d = match r with Some r -> r | None -> d
 
+(* [cache]/[scheduling] reach the figure sweeps (which run through
+   Runner.run_configs); tables, micro-benchmarks, the ablations and the
+   SPECjbb composite (which keeps a workload-specific result record the
+   store does not model) simply ignore them. *)
 let artefacts =
   [
     { id = "t1"; what = "Table 1: ZGC page size classes";
-      run = (fun ~runs:_ ~full:_ ~jobs:_ -> E.Tables.t1 fmt) };
+      run = (fun ~runs:_ ~full:_ ~jobs:_ ~cache:_ ~scheduling:_ -> E.Tables.t1 fmt) };
     { id = "t2"; what = "Table 2: the 19 benchmark configurations";
-      run = (fun ~runs:_ ~full:_ ~jobs:_ -> E.Tables.t2 fmt) };
+      run = (fun ~runs:_ ~full:_ ~jobs:_ ~cache:_ ~scheduling:_ -> E.Tables.t2 fmt) };
     { id = "t3"; what = "Table 3: LAW graph datasets (generator stand-ins)";
-      run = (fun ~runs:_ ~full:_ ~jobs:_ -> E.Tables.t3 ~scale:4 fmt) };
+      run =
+        (fun ~runs:_ ~full:_ ~jobs:_ ~cache:_ ~scheduling:_ ->
+          E.Tables.t3 ~scale:4 fmt) };
     { id = "f4"; what = "Fig. 4: synthetic, single phase";
       run =
-        (fun ~runs ~full ~jobs ->
+        (fun ~runs ~full ~jobs ~cache ~scheduling ->
           E.Fig_synthetic.fig4 ~runs:(or_runs runs (if full then 10 else 3)) ~jobs
-            ~scale:(scale_or ~full 2 1) fmt) };
+            ?cache ~scheduling ~scale:(scale_or ~full 2 1) fmt) };
     { id = "f5"; what = "Fig. 5: synthetic, three phases";
       run =
-        (fun ~runs ~full ~jobs ->
+        (fun ~runs ~full ~jobs ~cache ~scheduling ->
           E.Fig_synthetic.fig5 ~runs:(or_runs runs (if full then 10 else 3)) ~jobs
-            ~scale:(scale_or ~full 2 1) fmt) };
+            ?cache ~scheduling ~scale:(scale_or ~full 2 1) fmt) };
     { id = "f6"; what = "Fig. 6: ample relocation, saturated core";
       run =
-        (fun ~runs ~full ~jobs ->
+        (fun ~runs ~full ~jobs ~cache ~scheduling ->
           E.Fig_synthetic.fig6 ~runs:(or_runs runs (if full then 5 else 2)) ~jobs
-            ~scale:(scale_or ~full 4 2) fmt) };
+            ?cache ~scheduling ~scale:(scale_or ~full 4 2) fmt) };
     { id = "f7"; what = "Fig. 7: CC on uk";
       run =
-        (fun ~runs ~full ~jobs ->
-          E.Fig_graph.fig7 ~runs:(or_runs runs 3) ~jobs ~scale:(scale_or ~full 16 8)
-            fmt) };
+        (fun ~runs ~full ~jobs ~cache ~scheduling ->
+          E.Fig_graph.fig7 ~runs:(or_runs runs 3) ~jobs ?cache ~scheduling
+            ~scale:(scale_or ~full 16 8) fmt) };
     { id = "f8"; what = "Fig. 8: CC on enwiki";
       run =
-        (fun ~runs ~full ~jobs ->
-          E.Fig_graph.fig8 ~runs:(or_runs runs 3) ~jobs ~scale:(scale_or ~full 16 8)
-            fmt) };
+        (fun ~runs ~full ~jobs ~cache ~scheduling ->
+          E.Fig_graph.fig8 ~runs:(or_runs runs 3) ~jobs ?cache ~scheduling
+            ~scale:(scale_or ~full 16 8) fmt) };
     { id = "f9"; what = "Fig. 9: MC on uk";
       run =
-        (fun ~runs ~full ~jobs ->
-          E.Fig_graph.fig9 ~runs:(or_runs runs 2) ~jobs ~scale:(scale_or ~full 4 2)
-            fmt) };
+        (fun ~runs ~full ~jobs ~cache ~scheduling ->
+          E.Fig_graph.fig9 ~runs:(or_runs runs 2) ~jobs ?cache ~scheduling
+            ~scale:(scale_or ~full 4 2) fmt) };
     { id = "f10"; what = "Fig. 10: MC on enwiki";
       run =
-        (fun ~runs ~full ~jobs ->
-          E.Fig_graph.fig10 ~runs:(or_runs runs 2) ~jobs ~scale:(scale_or ~full 4 2)
-            fmt) };
+        (fun ~runs ~full ~jobs ~cache ~scheduling ->
+          E.Fig_graph.fig10 ~runs:(or_runs runs 2) ~jobs ?cache ~scheduling
+            ~scale:(scale_or ~full 4 2) fmt) };
     { id = "f11"; what = "Fig. 11: DaCapo tradebeans (simulated)";
       run =
-        (fun ~runs ~full ~jobs ->
+        (fun ~runs ~full ~jobs ~cache ~scheduling ->
           E.Fig_dacapo.fig11 ~runs:(or_runs runs (if full then 5 else 3)) ~jobs
-            ~scale:(scale_or ~full 2 1) fmt) };
+            ?cache ~scheduling ~scale:(scale_or ~full 2 1) fmt) };
     { id = "f12"; what = "Fig. 12: DaCapo h2 (simulated)";
       run =
-        (fun ~runs ~full ~jobs ->
+        (fun ~runs ~full ~jobs ~cache ~scheduling ->
           E.Fig_dacapo.fig12 ~runs:(or_runs runs (if full then 5 else 2)) ~jobs
-            ~scale:(scale_or ~full 2 1) fmt) };
+            ?cache ~scheduling ~scale:(scale_or ~full 2 1) fmt) };
     { id = "f13"; what = "Fig. 13: SPECjbb2015 (simulated)";
       run =
-        (fun ~runs ~full ~jobs ->
+        (fun ~runs ~full ~jobs ~cache:_ ~scheduling:_ ->
           E.Fig_specjbb.fig13 ~runs:(or_runs runs 2) ~jobs ~scale:(scale_or ~full 2 1)
             fmt) };
     { id = "abl-prefetch"; what = "ablation: access-order layout needs prefetching";
       run =
-        (fun ~runs ~full ~jobs ->
+        (fun ~runs ~full ~jobs ~cache:_ ~scheduling:_ ->
           E.Ablations.prefetcher ~runs:(or_runs runs 3) ~jobs
             ~scale:(scale_or ~full 2 1) fmt) };
     { id = "abl-tlb"; what = "ablation: page-locality (dTLB) effect";
       run =
-        (fun ~runs ~full ~jobs ->
+        (fun ~runs ~full ~jobs ~cache:_ ~scheduling:_ ->
           E.Ablations.tlb ~runs:(or_runs runs 3) ~jobs ~scale:(scale_or ~full 2 1)
             fmt) };
     { id = "abl-pagesize"; what = "ablation: page-size-class granularity";
       run =
-        (fun ~runs ~full ~jobs ->
+        (fun ~runs ~full ~jobs ~cache:_ ~scheduling:_ ->
           E.Ablations.page_size ~runs:(or_runs runs 3) ~jobs
             ~scale:(scale_or ~full 2 1) fmt) };
     { id = "abl-autotune"; what = "ablation: COLDCONFIDENCE feedback loop";
       run =
-        (fun ~runs ~full ~jobs ->
+        (fun ~runs ~full ~jobs ~cache:_ ~scheduling:_ ->
           E.Ablations.autotuner ~runs:(or_runs runs 3) ~jobs
             ~scale:(scale_or ~full 2 1) fmt) };
     { id = "micro"; what = "bechamel micro-benchmarks of HCSGC primitives";
-      run = (fun ~runs:_ ~full:_ ~jobs:_ -> micro ()) };
+      run = (fun ~runs:_ ~full:_ ~jobs:_ ~cache:_ ~scheduling:_ -> micro ()) };
   ]
 
 let () =
@@ -177,6 +189,10 @@ let () =
   let full = ref false in
   let list_only = ref false in
   let jobs = ref (Hcsgc_exec.Pool.default_jobs ()) in
+  let cache_dir = ref E.Runner.default_cache_dir in
+  let no_cache = ref false in
+  let refresh = ref false in
+  let fifo = ref false in
   let set_jobs n =
     if n < 1 then raise (Arg.Bad "--jobs must be >= 1");
     jobs := n
@@ -196,6 +212,20 @@ let () =
           !jobs );
       ("-j", Arg.Int set_jobs, "N short for --jobs");
       ("--full", Arg.Set full, " paper-closer sizes (much slower)");
+      ( "--cache-dir",
+        Arg.Set_string cache_dir,
+        Printf.sprintf
+          "DIR persistent result store for sweep jobs (default %s); warm \
+           runs are byte-identical to cold ones"
+          !cache_dir );
+      ("--no-cache", Arg.Set no_cache, " disable the result store entirely");
+      ( "--refresh",
+        Arg.Set refresh,
+        " recompute every job and overwrite its store entry" );
+      ( "--fifo",
+        Arg.Set fifo,
+        " submit jobs in expansion order instead of longest-estimated-first \
+         (for measuring the scheduler; output is identical either way)" );
       ("--list", Arg.Set list_only, " list artefact ids and exit");
     ]
   in
@@ -215,11 +245,31 @@ let () =
             | None -> failwith ("unknown artefact id: " ^ id))
           !only
     in
+    let cache =
+      if !no_cache then None
+      else Some (E.Runner.cache ~refresh:!refresh ~dir:!cache_dir ())
+    in
+    let scheduling = if !fifo then `Fifo else `Cost in
     let t0 = Unix.gettimeofday () in
     List.iter
       (fun a ->
         Format.eprintf "[bench] running %s (%s)@." a.id a.what;
-        a.run ~runs:!runs ~full:!full ~jobs:!jobs)
+        a.run ~runs:!runs ~full:!full ~jobs:!jobs ~cache ~scheduling)
       selected;
+    (* One auditable cache line per sweep (stderr, like all progress
+       output, so stdout panels stay byte-identical cold vs warm). *)
+    (match cache with
+    | None -> ()
+    | Some c ->
+        let s = Hcsgc_store.Result_store.counters c.E.Runner.store in
+        Format.eprintf "[bench] %s@."
+          (Hcsgc_telemetry.Summary.store_line
+             ~dir:(Hcsgc_store.Result_store.dir c.E.Runner.store)
+             ~hits:s.Hcsgc_store.Result_store.hits
+             ~misses:s.Hcsgc_store.Result_store.misses
+             ~corrupt:s.Hcsgc_store.Result_store.corrupt
+             ~stored:s.Hcsgc_store.Result_store.stored
+             ~bytes_read:s.Hcsgc_store.Result_store.bytes_read
+             ~bytes_written:s.Hcsgc_store.Result_store.bytes_written));
     Format.eprintf "[bench] done in %.1fs@." (Unix.gettimeofday () -. t0)
   end

@@ -82,6 +82,32 @@ let verify_flag =
   in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
+let cache_dir =
+  let doc =
+    "Persistent result store for sweep jobs (with --all-configs). Jobs \
+     are content-addressed by experiment parameters, configuration \
+     knobs, seed and verify flag; warm sweeps are byte-identical to cold \
+     ones and only faster."
+  in
+  Arg.(value
+      & opt string E.Runner.default_cache_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let no_cache =
+  let doc = "Disable the result store entirely." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let refresh_flag =
+  let doc =
+    "Recompute every job and overwrite its result-store entry (use after \
+     changes the fingerprint cannot see, e.g. to re-measure timings)."
+  in
+  Arg.(value & flag & info [ "refresh" ] ~doc)
+
+let cache_of ~no_cache ~refresh ~cache_dir =
+  if no_cache then None
+  else Some (E.Runner.cache ~refresh ~dir:cache_dir ())
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry artefacts                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -130,19 +156,33 @@ let report_single vm =
   Format.fprintf fmt "cache (mutator only):  loads=%d l1m=%d llcm=%d@."
     mc.H.loads mc.H.l1_misses mc.H.llc_misses
 
-let run_experiment ?trace_out ?(trace_sample = 50_000) ?(verify = false) ~all
-    ~runs ~jobs ~config_id (exp : E.Runner.experiment) =
+let store_line store =
+  let s = Hcsgc_store.Result_store.counters store in
+  Tel.Summary.store_line
+    ~dir:(Hcsgc_store.Result_store.dir store)
+    ~hits:s.Hcsgc_store.Result_store.hits
+    ~misses:s.Hcsgc_store.Result_store.misses
+    ~corrupt:s.Hcsgc_store.Result_store.corrupt
+    ~stored:s.Hcsgc_store.Result_store.stored
+    ~bytes_read:s.Hcsgc_store.Result_store.bytes_read
+    ~bytes_written:s.Hcsgc_store.Result_store.bytes_written
+
+let run_experiment ?trace_out ?(trace_sample = 50_000) ?(verify = false)
+    ?cache ~all ~runs ~jobs ~config_id (exp : E.Runner.experiment) =
   if all then begin
     if trace_out <> None then
       Format.eprintf "[run] --trace-out ignored with --all-configs@.";
     let results =
-      E.Runner.run_configs ~runs ~jobs ~verify
+      E.Runner.run_configs ~runs ~jobs ~verify ?cache
         ~progress:(fun m -> Format.eprintf "[run] %s@." m)
         exp
     in
     E.Report.figure fmt ~title:exp.E.Runner.name
       ~expectation:"(ad-hoc sweep; see bench/main.exe for paper figures)"
-      results
+      results;
+    match cache with
+    | Some c -> Format.eprintf "[run] %s@." (store_line c.E.Runner.store)
+    | None -> ()
   end
   else begin
     let config = Config.of_id config_id in
@@ -183,20 +223,21 @@ let synthetic_cmd =
            ~doc:"Never-accessed cold elements per hot element (Fig. 6 uses 10).")
   in
   let run config_id all runs jobs scale saturated _seed elements phases
-      cold_ratio trace_out trace_sample verify =
+      cold_ratio trace_out trace_sample verify cache_dir no_cache refresh =
     let scale = max 1 (scale * (100_000 / max 1 elements)) in
     let exp =
       E.Fig_synthetic.experiment ~phases ~cold_ratio ~saturated ~scale ()
     in
-    run_experiment ?trace_out ~trace_sample ~verify ~all ~runs ~jobs
-      ~config_id exp
+    run_experiment ?trace_out ~trace_sample ~verify
+      ?cache:(cache_of ~no_cache ~refresh ~cache_dir)
+      ~all ~runs ~jobs ~config_id exp
   in
   Cmd.v
     (Cmd.info "synthetic" ~doc:"The paper's synthetic micro-benchmark (§4.4)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
       $ seed $ elements $ phases $ cold_ratio $ trace_out $ trace_sample
-      $ verify_flag)
+      $ verify_flag $ cache_dir $ no_cache $ refresh_flag)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)
@@ -230,7 +271,7 @@ let graph_cmd =
         & info [ "dataset" ] ~docv:"uk|enwiki" ~doc:"Table 3 input (generator stand-in).")
   in
   let run config_id all runs jobs scale _saturated _seed algo dataset trace_out
-      trace_sample verify =
+      trace_sample verify cache_dir no_cache refresh =
     let module D = Hcsgc_graph.Dataset in
     let exp =
       match (algo, dataset) with
@@ -242,35 +283,42 @@ let graph_cmd =
       | `Mc, `Enwiki ->
           E.Fig_graph.mc_experiment ~dataset:D.enwiki_mc ~scale:(2 * scale) ()
     in
-    run_experiment ?trace_out ~trace_sample ~verify ~all ~runs ~jobs
-      ~config_id exp
+    run_experiment ?trace_out ~trace_sample ~verify
+      ?cache:(cache_of ~no_cache ~refresh ~cache_dir)
+      ~all ~runs ~jobs ~config_id exp
   in
   Cmd.v
     (Cmd.info "graph" ~doc:"JGraphT-style graph workloads (§4.5)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed $ algo $ dataset $ trace_out $ trace_sample $ verify_flag)
+      $ seed $ algo $ dataset $ trace_out $ trace_sample $ verify_flag
+      $ cache_dir $ no_cache $ refresh_flag)
 
 (* ------------------------------------------------------------------ *)
 (* h2 / tradebeans / specjbb                                           *)
 (* ------------------------------------------------------------------ *)
 
 let h2_cmd =
-  let run config_id all runs jobs scale _ _ trace_out trace_sample verify =
-    run_experiment ?trace_out ~trace_sample ~verify ~all ~runs ~jobs
-      ~config_id
+  let run config_id all runs jobs scale _ _ trace_out trace_sample verify
+      cache_dir no_cache refresh =
+    run_experiment ?trace_out ~trace_sample ~verify
+      ?cache:(cache_of ~no_cache ~refresh ~cache_dir)
+      ~all ~runs ~jobs ~config_id
       (E.Fig_dacapo.h2_experiment ~scale)
   in
   Cmd.v
     (Cmd.info "h2" ~doc:"In-memory-database workload (DaCapo h2 stand-in, §4.6)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed $ trace_out $ trace_sample $ verify_flag)
+      $ seed $ trace_out $ trace_sample $ verify_flag $ cache_dir $ no_cache
+      $ refresh_flag)
 
 let tradebeans_cmd =
-  let run config_id all runs jobs scale _ _ trace_out trace_sample verify =
-    run_experiment ?trace_out ~trace_sample ~verify ~all ~runs ~jobs
-      ~config_id
+  let run config_id all runs jobs scale _ _ trace_out trace_sample verify
+      cache_dir no_cache refresh =
+    run_experiment ?trace_out ~trace_sample ~verify
+      ?cache:(cache_of ~no_cache ~refresh ~cache_dir)
+      ~all ~runs ~jobs ~config_id
       (E.Fig_dacapo.tradebeans_experiment ~scale)
   in
   Cmd.v
@@ -278,7 +326,8 @@ let tradebeans_cmd =
        ~doc:"Trading-session workload (DaCapo tradebeans stand-in, §4.6)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed $ trace_out $ trace_sample $ verify_flag)
+      $ seed $ trace_out $ trace_sample $ verify_flag $ cache_dir $ no_cache
+      $ refresh_flag)
 
 let specjbb_cmd =
   let run config_id _all _runs scale _ seed verify =
@@ -373,7 +422,8 @@ let profile_cmd =
     | "tradebeans" -> Some (E.Fig_dacapo.tradebeans_experiment ~scale)
     | _ -> None
   in
-  let run config_id scale exp_name trace_out trace_sample seed verify =
+  let run config_id scale exp_name trace_out trace_sample seed verify
+      cache_dir no_cache refresh =
     match experiment_of ~scale exp_name with
     | None ->
         Format.eprintf "unknown experiment %S (expected one of: %s)@." exp_name
@@ -386,12 +436,16 @@ let profile_cmd =
           (Config.to_string (Config.of_id config_id))
           (if verify then " [verified]" else "");
         let job = { E.Runner.exp; config_id; run = seed } in
+        let cache = cache_of ~no_cache ~refresh ~cache_dir in
         let metrics, recorder =
-          E.Runner.profile ~sample_interval:trace_sample ~verify job
+          E.Runner.profile ~sample_interval:trace_sample ~verify ?cache job
         in
         Format.fprintf fmt "execution time: %.0f cycles, %d GC cycles@."
           metrics.E.Runner.wall metrics.E.Runner.gc_cycle_count;
-        emit_artifacts ~trace_out recorder
+        emit_artifacts ~trace_out recorder;
+        Option.iter
+          (fun c -> Format.eprintf "[profile] %s@." (store_line c.E.Runner.store))
+          cache
   in
   Cmd.v
     (Cmd.info "profile"
@@ -402,7 +456,7 @@ let profile_cmd =
           relocation attribution)")
     Term.(
       const run $ config_id $ scale $ exp_arg $ trace_out $ trace_sample
-      $ seed $ verify_flag)
+      $ seed $ verify_flag $ cache_dir $ no_cache $ refresh_flag)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz: random-mutator smoke under full verification                  *)
@@ -481,22 +535,26 @@ let figure_cmd =
         & pos 0 (some string) None
         & info [] ~docv:"FIG" ~doc:"t1 t2 t3 f4..f13")
   in
-  let run which runs jobs scale =
-    match which with
+  let run which runs jobs scale cache_dir no_cache refresh =
+    let cache = cache_of ~no_cache ~refresh ~cache_dir in
+    (match which with
     | "t1" -> E.Tables.t1 fmt
     | "t2" -> E.Tables.t2 fmt
     | "t3" -> E.Tables.t3 ~scale fmt
-    | "f4" -> E.Fig_synthetic.fig4 ~runs ~jobs ~scale fmt
-    | "f5" -> E.Fig_synthetic.fig5 ~runs ~jobs ~scale fmt
-    | "f6" -> E.Fig_synthetic.fig6 ~runs ~jobs ~scale fmt
-    | "f7" -> E.Fig_graph.fig7 ~runs ~jobs ~scale fmt
-    | "f8" -> E.Fig_graph.fig8 ~runs ~jobs ~scale fmt
-    | "f9" -> E.Fig_graph.fig9 ~runs ~jobs ~scale fmt
-    | "f10" -> E.Fig_graph.fig10 ~runs ~jobs ~scale fmt
-    | "f11" -> E.Fig_dacapo.fig11 ~runs ~jobs ~scale fmt
-    | "f12" -> E.Fig_dacapo.fig12 ~runs ~jobs ~scale fmt
+    | "f4" -> E.Fig_synthetic.fig4 ~runs ~jobs ~scale ?cache fmt
+    | "f5" -> E.Fig_synthetic.fig5 ~runs ~jobs ~scale ?cache fmt
+    | "f6" -> E.Fig_synthetic.fig6 ~runs ~jobs ~scale ?cache fmt
+    | "f7" -> E.Fig_graph.fig7 ~runs ~jobs ~scale ?cache fmt
+    | "f8" -> E.Fig_graph.fig8 ~runs ~jobs ~scale ?cache fmt
+    | "f9" -> E.Fig_graph.fig9 ~runs ~jobs ~scale ?cache fmt
+    | "f10" -> E.Fig_graph.fig10 ~runs ~jobs ~scale ?cache fmt
+    | "f11" -> E.Fig_dacapo.fig11 ~runs ~jobs ~scale ?cache fmt
+    | "f12" -> E.Fig_dacapo.fig12 ~runs ~jobs ~scale ?cache fmt
     | "f13" -> E.Fig_specjbb.fig13 ~runs ~jobs ~scale fmt
-    | other -> Format.eprintf "unknown figure: %s@." other
+    | other -> Format.eprintf "unknown figure: %s@." other);
+    Option.iter
+      (fun c -> Format.eprintf "[figure] %s@." (store_line c.E.Runner.store))
+      cache
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one of the paper's tables or figures")
@@ -504,7 +562,8 @@ let figure_cmd =
       const run $ which
       $ Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc:"Sample size.")
       $ jobs
-      $ Arg.(value & opt int 2 & info [ "scale" ] ~docv:"K" ~doc:"Scale divisor."))
+      $ Arg.(value & opt int 2 & info [ "scale" ] ~docv:"K" ~doc:"Scale divisor.")
+      $ cache_dir $ no_cache $ refresh_flag)
 
 let () =
   let info =

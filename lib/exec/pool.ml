@@ -107,6 +107,24 @@ let map_array t f xs =
   let promises = Array.map (fun x -> async t (fun () -> f x)) xs in
   Array.map await promises
 
+let map_array_in_order t ~order f xs =
+  let n = Array.length xs in
+  if Array.length order <> n then
+    invalid_arg "Pool.map_array_in_order: order length mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then
+        invalid_arg "Pool.map_array_in_order: order is not a permutation";
+      seen.(i) <- true)
+    order;
+  (* Submit in the caller's order (this is what a scheduler controls),
+     hold each promise at its original index, then await in index order:
+     the result array is position-for-position what map_array returns. *)
+  let promises = Array.make n None in
+  Array.iter (fun i -> promises.(i) <- Some (async t (fun () -> f xs.(i)))) order;
+  Array.map (function Some p -> await p | None -> assert false) promises
+
 let shutdown t =
   if not t.closed then begin
     Mutex.lock t.mutex;

@@ -56,3 +56,15 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Array analogue of {!map_list}. *)
+
+val map_array_in_order : t -> order:int array -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array_in_order t ~order f xs] is {!map_array}[ t f xs] — same
+    results, same positions — but thunks are {e submitted} to the queue in
+    the sequence [xs.(order.(0)), xs.(order.(1)), ...].  [order] must be a
+    permutation of the indices of [xs] (checked;
+    @raise Invalid_argument otherwise).  This is the hook cost-aware
+    schedulers use ({!Hcsgc_store.Scheduler}): submission order decides
+    which jobs the workers pick up first and hence the sweep's makespan,
+    while result order — and therefore every output byte — stays fixed.
+    With [jobs <= 1] thunks run at submission, so [order] is then also the
+    execution order. *)

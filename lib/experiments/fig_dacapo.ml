@@ -21,6 +21,11 @@ let tradebeans_experiment ~scale =
   in
   {
     Runner.name = "tradebeans";
+    key =
+      Printf.sprintf "tradebeans;acct=%d;instr=%d;orders=%d;hot=%d;heap=%d"
+        params.Tradebeans.accounts params.Tradebeans.instruments
+        params.Tradebeans.orders params.Tradebeans.hot_accounts
+        (12 * 1024 * 1024);
     make_vm = make_vm ~max_heap:(12 * 1024 * 1024);
     workload =
       (fun vm ~run ->
@@ -41,21 +46,24 @@ let h2_experiment ~scale =
   let max_heap = max (4 * 1024 * 1024) (3 * params.H2.rows * 64) in
   {
     Runner.name = "h2";
+    key =
+      Printf.sprintf "h2;rows=%d;txns=%d;heap=%d" params.H2.rows
+        params.H2.transactions max_heap;
     make_vm = make_vm ~max_heap;
     workload =
       (fun vm ~run -> ignore (H2.run vm { params with H2.seed = run }));
   }
 
-let render fmt ~title ~expectation ~runs ~jobs exp =
+let render fmt ~title ~expectation ~runs ~jobs ?cache ?scheduling exp =
   let results =
-    Runner.run_configs ~runs ~jobs
+    Runner.run_configs ~runs ~jobs ?cache ?scheduling
       ~progress:(fun msg -> Format.eprintf "[bench] %s@." msg)
       exp
   in
   Report.figure fmt ~title ~expectation results
 
-let fig11 ?(runs = 5) ?(scale = 1) ?(jobs = 1) fmt =
-  render fmt ~title:"Fig. 11 — DaCapo tradebeans (simulated)"
+let fig11 ?(runs = 5) ?(scale = 1) ?(jobs = 1) ?cache ?scheduling fmt =
+  render fmt ~title:"Fig. 11 — DaCapo tradebeans (simulated)" ?cache ?scheduling
     ~expectation:
       "little improvement (≤ ~5% at best): most objects are very short \
        lived, and HCSGC only improves locality for objects surviving a GC \
@@ -63,8 +71,8 @@ let fig11 ?(runs = 5) ?(scale = 1) ?(jobs = 1) fmt =
     ~runs ~jobs
     (tradebeans_experiment ~scale)
 
-let fig12 ?(runs = 5) ?(scale = 1) ?(jobs = 1) fmt =
-  render fmt ~title:"Fig. 12 — DaCapo h2 (simulated)"
+let fig12 ?(runs = 5) ?(scale = 1) ?(jobs = 1) ?cache ?scheduling fmt =
+  render fmt ~title:"Fig. 12 — DaCapo h2 (simulated)" ?cache ?scheduling
     ~expectation:
       "5-9% improvement for several configurations; < 2% overhead for \
        hotness tracking alone (config 5); RELOCATEALLSMALLPAGES outperforms \

@@ -27,10 +27,17 @@ let build_graph vm (d : Dataset.t) ~run =
   Generator.build vm ~rng ~model:d.Dataset.model ~nodes:d.Dataset.nodes
     ~edges:d.Dataset.edges
 
+(* Content-addressing key: the scaled dataset's actual shape (not just its
+   display name) plus the algorithm's own knobs. *)
+let dataset_key (d : Dataset.t) =
+  Printf.sprintf "%s;nodes=%d;edges=%d" d.Dataset.name d.Dataset.nodes
+    d.Dataset.edges
+
 let cc_experiment ~dataset ~scale =
   let d = Dataset.scaled dataset ~factor:scale in
   {
     Runner.name = Printf.sprintf "CC %s /%d" d.Dataset.name scale;
+    key = Printf.sprintf "cc;%s;passes=6" (dataset_key d);
     make_vm = make_vm_for d;
     workload =
       (fun vm ~run ->
@@ -46,6 +53,7 @@ let mc_experiment ?(max_expansions = 30_000) ~dataset ~scale () =
   let d = Dataset.scaled dataset ~factor:scale in
   {
     Runner.name = Printf.sprintf "MC %s /%d" d.Dataset.name scale;
+    key = Printf.sprintf "mc;%s;maxexp=%d" (dataset_key d) max_expansions;
     make_vm = make_vm_for ~heap_mult:4 d;
     workload =
       (fun vm ~run ->
@@ -54,9 +62,9 @@ let mc_experiment ?(max_expansions = 30_000) ~dataset ~scale () =
         Hcsgc_graph.Mgraph.dispose g);
   }
 
-let render fmt ~title ~expectation ~runs ~jobs exp =
+let render fmt ~title ~expectation ~runs ~jobs ?cache ?scheduling exp =
   let results =
-    Runner.run_configs ~runs ~jobs
+    Runner.run_configs ~runs ~jobs ?cache ?scheduling
       ~progress:(fun msg -> Format.eprintf "[bench] %s@." msg)
       exp
   in
@@ -73,22 +81,22 @@ let mc_expectation =
    14-16; config 3 well ahead of config 2 (hot objects on well-populated \
    pages need the bigger EC)"
 
-let fig7 ?(runs = 3) ?(scale = 8) ?(jobs = 1) fmt =
+let fig7 ?(runs = 3) ?(scale = 8) ?(jobs = 1) ?cache ?scheduling fmt =
   render fmt ~title:"Fig. 7 — connected components, uk dataset"
-    ~expectation:cc_expectation ~runs ~jobs
+    ~expectation:cc_expectation ~runs ~jobs ?cache ?scheduling
     (cc_experiment ~dataset:Dataset.uk_cc ~scale)
 
-let fig8 ?(runs = 3) ?(scale = 8) ?(jobs = 1) fmt =
+let fig8 ?(runs = 3) ?(scale = 8) ?(jobs = 1) ?cache ?scheduling fmt =
   render fmt ~title:"Fig. 8 — connected components, enwiki dataset"
-    ~expectation:cc_expectation ~runs ~jobs
+    ~expectation:cc_expectation ~runs ~jobs ?cache ?scheduling
     (cc_experiment ~dataset:Dataset.enwiki_cc ~scale)
 
-let fig9 ?(runs = 3) ?(scale = 2) ?(jobs = 1) fmt =
+let fig9 ?(runs = 3) ?(scale = 2) ?(jobs = 1) ?cache ?scheduling fmt =
   render fmt ~title:"Fig. 9 — Bron-Kerbosch (MC), uk dataset"
-    ~expectation:mc_expectation ~runs ~jobs
+    ~expectation:mc_expectation ~runs ~jobs ?cache ?scheduling
     (mc_experiment ~dataset:Dataset.uk_mc ~scale ())
 
-let fig10 ?(runs = 3) ?(scale = 2) ?(jobs = 1) fmt =
+let fig10 ?(runs = 3) ?(scale = 2) ?(jobs = 1) ?cache ?scheduling fmt =
   render fmt ~title:"Fig. 10 — Bron-Kerbosch (MC), enwiki dataset"
-    ~expectation:mc_expectation ~runs ~jobs
+    ~expectation:mc_expectation ~runs ~jobs ?cache ?scheduling
     (mc_experiment ~dataset:Dataset.enwiki_mc ~scale ())

@@ -28,6 +28,15 @@ let experiment ?(phases = 1) ?(cold_ratio = 0) ?(saturated = false)
     Runner.name =
       Printf.sprintf "synthetic(phases=%d,cold=%dx%s)" phases cold_ratio
         (if saturated then ",saturated" else "");
+    (* Content-addressing key: every derived workload parameter, so e.g.
+       two --scale settings never share a store entry even though they
+       share a display name. *)
+    key =
+      Printf.sprintf
+        "synthetic;el=%d;apl=%d;phases=%d;loops=%d;cold=%d;sat=%b;heap=%d"
+        elements params.Synthetic.accesses_per_loop phases
+        params.Synthetic.loops params.Synthetic.cold_elements saturated
+        max_heap;
     make_vm =
       (fun config ->
         Vm.create ~layout ~machine_config:Scaled_machine.config ~saturated
@@ -37,16 +46,16 @@ let experiment ?(phases = 1) ?(cold_ratio = 0) ?(saturated = false)
         ignore (Synthetic.run vm { params with Synthetic.seed = run }));
   }
 
-let render fmt ~title ~expectation ~runs ~jobs exp =
+let render fmt ~title ~expectation ~runs ~jobs ?cache ?scheduling exp =
   let results =
-    Runner.run_configs ~runs ~jobs
+    Runner.run_configs ~runs ~jobs ?cache ?scheduling
       ~progress:(fun msg -> Format.eprintf "[bench] %s@." msg)
       exp
   in
   Report.figure fmt ~title ~expectation results
 
-let fig4 ?(runs = 5) ?(scale = 1) ?(jobs = 1) fmt =
-  render fmt ~title:"Fig. 4 — synthetic, single phase"
+let fig4 ?(runs = 5) ?(scale = 1) ?(jobs = 1) ?cache ?scheduling fmt =
+  render fmt ~title:"Fig. 4 — synthetic, single phase" ?cache ?scheduling
     ~expectation:
       "largest speedups for configs 4/10/16/18 (big EC + lazy), next 3/17, \
        some improvement 7/13, none for 2/5/8/11/14; large L1/LLC miss \
@@ -54,16 +63,17 @@ let fig4 ?(runs = 5) ?(scale = 1) ?(jobs = 1) fmt =
     ~runs ~jobs
     (experiment ~scale ())
 
-let fig5 ?(runs = 5) ?(scale = 1) ?(jobs = 1) fmt =
-  render fmt ~title:"Fig. 5 — synthetic, three phases"
+let fig5 ?(runs = 5) ?(scale = 1) ?(jobs = 1) ?cache ?scheduling fmt =
+  render fmt ~title:"Fig. 5 — synthetic, three phases" ?cache ?scheduling
     ~expectation:
       "same shape as Fig. 4: HCSGC adapts to phase changes (per-phase stable \
        access orders are re-captured after each change)"
     ~runs ~jobs
     (experiment ~phases:3 ~scale ())
 
-let fig6 ?(runs = 3) ?(scale = 2) ?(jobs = 1) fmt =
+let fig6 ?(runs = 3) ?(scale = 2) ?(jobs = 1) ?cache ?scheduling fmt =
   render fmt ~title:"Fig. 6 — ample relocation, saturated single core"
+    ?cache ?scheduling
     ~expectation:
       "large overhead for RELOCATEALLSMALLPAGES configs 3/4/17/18 (copying \
        the 10x cold population on the critical path); COLDCONFIDENCE configs \

@@ -10,11 +10,22 @@
     tighter intervals).  [scale] divides workload size.  [jobs] fans the
     sweep's (configuration, run) jobs across a {!Hcsgc_exec.Pool} of
     domains (default 1 = in-process); results are aggregated in job order,
-    so the rendered figure is identical at any [jobs]. *)
+    so the rendered figure is identical at any [jobs].  [cache] serves
+    repeats from a {!Hcsgc_store.Result_store} and [scheduling] picks the
+    pool submission order (see {!Runner.run_configs}); neither changes a
+    byte of output. *)
 
-val fig4 : ?runs:int -> ?scale:int -> ?jobs:int -> Format.formatter -> unit
-val fig5 : ?runs:int -> ?scale:int -> ?jobs:int -> Format.formatter -> unit
-val fig6 : ?runs:int -> ?scale:int -> ?jobs:int -> Format.formatter -> unit
+val fig4 :
+  ?runs:int -> ?scale:int -> ?jobs:int -> ?cache:Runner.cache ->
+  ?scheduling:[ `Cost | `Fifo ] -> Format.formatter -> unit
+
+val fig5 :
+  ?runs:int -> ?scale:int -> ?jobs:int -> ?cache:Runner.cache ->
+  ?scheduling:[ `Cost | `Fifo ] -> Format.formatter -> unit
+
+val fig6 :
+  ?runs:int -> ?scale:int -> ?jobs:int -> ?cache:Runner.cache ->
+  ?scheduling:[ `Cost | `Fifo ] -> Format.formatter -> unit
 
 val experiment :
   ?phases:int ->

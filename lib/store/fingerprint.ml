@@ -1,0 +1,26 @@
+(* Bump on any semantically visible change to the simulator or to the
+   metrics serialization: the token participates in every digest, so old
+   cache entries become unreachable rather than stale. *)
+let code_version = "hcsgc-2025-08-pr5-v1"
+
+type t = string (* raw 16-byte MD5 digest *)
+
+(* Length-prefix every field so field boundaries are unambiguous:
+   ("ab","c") and ("a","bc") must not hash equal. *)
+let add_field buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let make ~experiment ~config ~run ~verify =
+  let buf = Buffer.create 128 in
+  add_field buf code_version;
+  add_field buf experiment;
+  add_field buf config;
+  add_field buf (string_of_int run);
+  add_field buf (if verify then "v1" else "v0");
+  Digest.string (Buffer.contents buf)
+
+let to_hex = Digest.to_hex
+let equal = String.equal
+let pp fmt t = Format.pp_print_string fmt (to_hex t)

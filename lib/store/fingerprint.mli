@@ -1,0 +1,35 @@
+(** Content addresses for sweep results.
+
+    A fingerprint names the {e value} of one simulation job — everything
+    that determines its [run_metrics] bit-for-bit: the experiment's stable
+    parameter key, the configuration knobs, the run seed, the verify flag
+    and a repo-wide {!code_version} token.  Two jobs with equal
+    fingerprints are guaranteed (by the simulator's determinism, enforced
+    in the test suite) to produce identical metrics, so the
+    {!Result_store} may serve either from the other's cached entry.
+
+    The digest is MD5 ({!Stdlib.Digest}): this is content addressing for a
+    local cache, not an integrity boundary against an adversary. *)
+
+val code_version : string
+(** Salt mixed into every fingerprint.  {b Bump this} whenever a change
+    alters simulation semantics (cost model, collector behaviour, workload
+    generation, metrics definition): all previously cached entries then
+    miss cleanly instead of serving stale results. *)
+
+type t
+(** An opaque 128-bit digest. *)
+
+val make :
+  experiment:string -> config:string -> run:int -> verify:bool -> t
+(** [make ~experiment ~config ~run ~verify] fingerprints one job.
+    [experiment] must be the job's {e stable parameter key} (every workload
+    knob spelled out, not just a display name); [config] a lossless
+    rendering of the configuration knobs.  The fields are length-prefixed
+    before hashing, so no two distinct inputs collide by concatenation. *)
+
+val to_hex : t -> string
+(** 32 lowercase hex characters; used as the store filename. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

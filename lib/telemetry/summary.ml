@@ -90,6 +90,21 @@ let write fmt r =
         s.Recorder.barrier_fast s.Recorder.barrier_slow s.Recorder.reloc_mutator
         s.Recorder.reloc_gc s.Recorder.reloc_bytes)
 
+(* Result-store counters, rendered here so every surface (bench sweep
+   footers, profile summaries) prints cache activity the same way.  Takes
+   plain ints: telemetry stays independent of hcsgc.store. *)
+let store_line ~dir ~hits ~misses ~corrupt ~stored ~bytes_read ~bytes_written =
+  let kib b = float_of_int b /. 1024.0 in
+  Printf.sprintf
+    "result store: %d hits, %d misses (%d corrupt), %d stored, %.1f KiB \
+     read, %.1f KiB written at %s"
+    hits misses corrupt stored (kib bytes_read) (kib bytes_written) dir
+
+let write_store fmt ~dir ~hits ~misses ~corrupt ~stored ~bytes_read
+    ~bytes_written =
+  Format.fprintf fmt "@\n-- result store --@\n%s@\n"
+    (store_line ~dir ~hits ~misses ~corrupt ~stored ~bytes_read ~bytes_written)
+
 let to_string r =
   let buf = Buffer.create 2048 in
   let fmt = Format.formatter_of_buffer buf in

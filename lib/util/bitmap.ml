@@ -32,14 +32,28 @@ let test_and_set t i =
 
 let reset t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
 
+(* Byte-wise popcount table: livemap/hotmap accounting pop-counts every
+   page's maps once per GC cycle, so this runs one table load per byte
+   instead of one loop iteration per set bit. *)
+let byte_pop_count =
+  let table = Bytes.create 256 in
+  for byte = 0 to 255 do
+    let v = ref byte and n = ref 0 in
+    while !v <> 0 do
+      v := !v land (!v - 1);
+      incr n
+    done;
+    Bytes.unsafe_set table byte (Char.unsafe_chr !n)
+  done;
+  table
+
 let pop_count t =
   let count = ref 0 in
   for b = 0 to Bytes.length t.bits - 1 do
-    let v = ref (Char.code (Bytes.unsafe_get t.bits b)) in
-    while !v <> 0 do
-      v := !v land (!v - 1);
-      incr count
-    done
+    count :=
+      !count
+      + Char.code
+          (Bytes.unsafe_get byte_pop_count (Char.code (Bytes.unsafe_get t.bits b)))
   done;
   !count
 

@@ -20,6 +20,7 @@ let layout = Layout.scaled ~small_page:(16 * 1024)
 let tiny_experiment =
   {
     Runner.name = "tiny";
+    key = "test-tiny;el=1000;apl=500;heap=4194304";
     make_vm =
       (fun config -> Vm.create ~layout ~config ~max_heap:(4 * 1024 * 1024) ());
     workload =

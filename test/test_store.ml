@@ -1,0 +1,372 @@
+(* Tests for hcsgc.store and the incremental-sweep layer: fingerprint
+   sensitivity, the metrics codec, store robustness (truncation,
+   bit-flips, refresh), cost-aware scheduling, and the end-to-end
+   guarantee that warm sweeps render byte-identical figures. *)
+
+module Vm = Hcsgc_runtime.Vm
+module Config = Hcsgc_core.Config
+module Layout = Hcsgc_heap.Layout
+module Runner = Hcsgc_experiments.Runner
+module Report = Hcsgc_experiments.Report
+module Synthetic = Hcsgc_workloads.Synthetic
+module Fingerprint = Hcsgc_store.Fingerprint
+module Result_store = Hcsgc_store.Result_store
+module Scheduler = Hcsgc_store.Scheduler
+module Pool = Hcsgc_exec.Pool
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+let with_temp_dir f =
+  let dir = Filename.temp_dir "hcsgc_store_test" "" in
+  Fun.protect (fun () -> f dir) ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      try rm dir with Sys_error _ -> ())
+
+let layout = Layout.scaled ~small_page:(16 * 1024)
+
+let tiny_experiment =
+  {
+    Runner.name = "store-tiny";
+    key = "test-store-tiny;el=600;apl=300;heap=4194304";
+    make_vm =
+      (fun config -> Vm.create ~layout ~config ~max_heap:(4 * 1024 * 1024) ());
+    workload =
+      (fun vm ~run ->
+        ignore
+          (Synthetic.run vm
+             {
+               Synthetic.default with
+               Synthetic.elements = 600;
+               accesses_per_loop = 300;
+               loops = 3;
+               garbage_words = 8;
+               seed = run;
+             }));
+  }
+
+let job ?(config_id = 0) ?(run = 0) () =
+  { Runner.exp = tiny_experiment; config_id; run }
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fingerprint_distinguishes_knob_vectors () =
+  (* Every distinct Table 2 knob vector must have a distinct fingerprint.
+     Ids 0 and 1 are the *same* knob vector (unmodified ZGC spelled two
+     ways), so by design they share — 19 ids, 18 distinct addresses. *)
+  let hexes =
+    List.init 19 (fun config_id ->
+        Fingerprint.to_hex (Runner.fingerprint ~verify:false (job ~config_id ())))
+  in
+  check Alcotest.int "19 configs" 19 (List.length hexes);
+  check Alcotest.int "18 distinct (0 and 1 share)" 18
+    (List.length (List.sort_uniq compare hexes));
+  check Alcotest.string "config 0 = config 1"
+    (List.nth hexes 0) (List.nth hexes 1)
+
+let fingerprint_sensitive_to_each_input () =
+  let base = Runner.fingerprint ~verify:false (job ()) in
+  let differs name fp =
+    check Alcotest.bool name false (Fingerprint.equal base fp)
+  in
+  differs "run seed" (Runner.fingerprint ~verify:false (job ~run:1 ()));
+  differs "verify flag" (Runner.fingerprint ~verify:true (job ()));
+  differs "config knobs" (Runner.fingerprint ~verify:false (job ~config_id:4 ()));
+  let renamed =
+    { (job ()) with exp = { tiny_experiment with key = tiny_experiment.key ^ ";x" } }
+  in
+  differs "experiment key" (Runner.fingerprint ~verify:false renamed);
+  (* The display name is cosmetic: changing it must NOT move the address. *)
+  let display =
+    { (job ()) with exp = { tiny_experiment with name = "renamed" } }
+  in
+  check Alcotest.bool "display name is not hashed" true
+    (Fingerprint.equal base (Runner.fingerprint ~verify:false display))
+
+let fingerprint_no_concatenation_collisions () =
+  (* Length-prefixed fields: moving a character across the field boundary
+     must change the digest. *)
+  let a = Fingerprint.make ~experiment:"ab" ~config:"c" ~run:0 ~verify:false in
+  let b = Fingerprint.make ~experiment:"a" ~config:"bc" ~run:0 ~verify:false in
+  check Alcotest.bool "ab|c <> a|bc" false (Fingerprint.equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let arbitrary_metrics =
+  QCheck.make
+    QCheck.Gen.(
+      let f = map (fun (m, e) -> ldexp m e) (pair (float_bound_inclusive 1.0) (int_range (-30) 30)) in
+      let* wall = f and* loads = f and* l1 = f and* llc = f in
+      let* ml1 = f and* mllc = f and* ec = f in
+      let* gc = int_bound 1000 and* rm = int_bound 10_000 and* rg = int_bound 10_000 in
+      let* samples = list_size (int_bound 20) (pair (int_bound 1_000_000) (int_bound 1_000_000)) in
+      return
+        {
+          Runner.wall; loads; l1_misses = l1; llc_misses = llc;
+          mut_l1_misses = ml1; mut_llc_misses = mllc; gc_cycle_count = gc;
+          ec_median = ec; reloc_mut = rm; reloc_gc = rg; heap_samples = samples;
+        })
+
+let prop_metrics_roundtrip =
+  QCheck.Test.make ~name:"store: metrics codec round-trips bit-exactly"
+    ~count:300 arbitrary_metrics (fun m ->
+      Runner.metrics_of_string (Runner.metrics_to_string m) = Some m)
+
+let codec_rejects_malformed () =
+  let good = Runner.metrics_to_string (Runner.execute (job ())) in
+  let reject name s =
+    check Alcotest.bool name true (Runner.metrics_of_string s = None)
+  in
+  reject "empty" "";
+  reject "wrong magic" ("nope\n" ^ good);
+  reject "truncated" (String.sub good 0 (String.length good - 3));
+  reject "trailing garbage" (good ^ "junk")
+
+(* ------------------------------------------------------------------ *)
+(* Store robustness                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let store_roundtrip () =
+  with_temp_dir (fun dir ->
+      let store = Result_store.open_ ~dir in
+      let fp = Runner.fingerprint ~verify:false (job ()) in
+      check Alcotest.bool "absent" true (Result_store.find store fp = None);
+      Result_store.add store fp ~cost_key:"k" ~cost:0.25 "payload";
+      check (Alcotest.option Alcotest.string) "present" (Some "payload")
+        (Result_store.find store fp);
+      (* A fresh handle over the same directory sees the entry: the store
+         is persistent, not per-process. *)
+      let reopened = Result_store.open_ ~dir in
+      check (Alcotest.option Alcotest.string) "persistent" (Some "payload")
+        (Result_store.find reopened fp);
+      let c = Result_store.counters store in
+      check Alcotest.int "one hit" 1 c.Result_store.hits;
+      check Alcotest.int "one miss" 1 c.Result_store.misses;
+      check Alcotest.int "one store" 1 c.Result_store.stored)
+
+let corrupt_entry name mutilate =
+  case name `Quick (fun () ->
+      with_temp_dir (fun dir ->
+          let store = Result_store.open_ ~dir in
+          let fp = Runner.fingerprint ~verify:false (job ()) in
+          Result_store.add store fp ~cost:0.1 "the payload bytes";
+          let path = Result_store.entry_path store fp in
+          let contents = In_channel.with_open_bin path In_channel.input_all in
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc (mutilate contents));
+          check Alcotest.bool "detected as miss" true
+            (Result_store.find store fp = None);
+          let c = Result_store.counters store in
+          check Alcotest.int "counted corrupt" 1 c.Result_store.corrupt;
+          check Alcotest.bool "entry dropped" false (Sys.file_exists path);
+          (* The slot is reusable: a re-run overwrites cleanly. *)
+          Result_store.add store fp ~cost:0.1 "the payload bytes";
+          check (Alcotest.option Alcotest.string) "recovered"
+            (Some "the payload bytes") (Result_store.find store fp)))
+
+let truncated = corrupt_entry "truncated entry detected" (fun s ->
+    String.sub s 0 (String.length s / 2))
+
+let bitflipped = corrupt_entry "bit-flipped entry detected" (fun s ->
+    let b = Bytes.of_string s in
+    let i = Bytes.length b - 4 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Bytes.to_string b)
+
+let execute_caches_and_refresh_recomputes () =
+  with_temp_dir (fun dir ->
+      let cache = Runner.cache ~dir () in
+      let cold = Runner.execute ~cache (job ()) in
+      let warm = Runner.execute ~cache (job ()) in
+      check Alcotest.bool "warm = cold" true (cold = warm);
+      let c = Result_store.counters cache.Runner.store in
+      check Alcotest.int "computed once" 1 c.Result_store.stored;
+      check Alcotest.int "served once" 1 c.Result_store.hits;
+      (* --refresh: same store, but every job recomputes and overwrites. *)
+      let refreshing = Runner.cache ~refresh:true ~dir () in
+      let again = Runner.execute ~cache:refreshing (job ()) in
+      check Alcotest.bool "refresh result unchanged" true (cold = again);
+      let c = Result_store.counters refreshing.Runner.store in
+      check Alcotest.int "refresh bypassed lookup" 0
+        (c.Result_store.hits + c.Result_store.misses);
+      check Alcotest.int "refresh re-stored" 1 c.Result_store.stored)
+
+let cost_model_learns_and_persists () =
+  with_temp_dir (fun dir ->
+      let store = Result_store.open_ ~dir in
+      check (Alcotest.option (Alcotest.float 0.0)) "unknown key" None
+        (Result_store.estimate store ~cost_key:"k");
+      let fp i = Fingerprint.make ~experiment:"e" ~config:"c" ~run:i ~verify:false in
+      Result_store.add store (fp 0) ~cost_key:"k" ~cost:1.0 "a";
+      Result_store.add store (fp 1) ~cost_key:"k" ~cost:3.0 "b";
+      check (Alcotest.option (Alcotest.float 1e-9)) "mean of observations"
+        (Some 2.0) (Result_store.estimate store ~cost_key:"k");
+      let reopened = Result_store.open_ ~dir in
+      check (Alcotest.option (Alcotest.float 1e-9)) "model persists"
+        (Some 2.0) (Result_store.estimate reopened ~cost_key:"k"))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_permutation order n =
+  let seen = Array.make n false in
+  Array.length order = n
+  && Array.for_all
+       (fun i ->
+         i >= 0 && i < n && not seen.(i) && (seen.(i) <- true; true))
+       order
+
+let scheduler_orders_longest_first () =
+  let costs = [| Some 2.0; None; Some 5.0; Some 2.0; None |] in
+  let order = Scheduler.order ~estimate:(fun i -> costs.(i)) 5 in
+  (* Unknowns first in index order, then descending cost, ties by index. *)
+  check (Alcotest.array Alcotest.int) "LPT with unknowns first"
+    [| 1; 4; 2; 0; 3 |] order;
+  check Alcotest.bool "permutation" true (is_permutation order 5);
+  check (Alcotest.array Alcotest.int) "no estimates = FIFO"
+    (Scheduler.fifo 4)
+    (Scheduler.order ~estimate:(fun _ -> None) 4);
+  check (Alcotest.array Alcotest.int) "fifo is identity" [| 0; 1; 2; 3 |]
+    (Scheduler.fifo 4)
+
+let pool_in_order_respects_result_positions () =
+  let xs = Array.init 8 Fun.id in
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let order = [| 7; 6; 5; 4; 3; 2; 1; 0 |] in
+      let ys = Pool.map_array_in_order pool ~order (fun x -> x * x) xs in
+      check (Alcotest.array Alcotest.int) "results in original positions"
+        (Array.map (fun x -> x * x) xs) ys;
+      Alcotest.check_raises "rejects non-permutation"
+        (Invalid_argument "Pool.map_array_in_order: order is not a permutation")
+        (fun () ->
+          ignore (Pool.map_array_in_order pool ~order:[| 0; 0 |] (fun x -> x) [| 1; 2 |])))
+
+(* ------------------------------------------------------------------ *)
+(* End to end: warm sweeps are byte-identical and cheaper              *)
+(* ------------------------------------------------------------------ *)
+
+let render results =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Report.figure fmt ~title:"store-tiny" ~expectation:"(test sweep)" results;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let sweep ?scheduling ~cache ~jobs () =
+  Runner.run_configs ~config_ids:[ 0; 4; 16 ] ~runs:2 ~jobs ~cache ?scheduling
+    tiny_experiment
+
+let warm_sweep_byte_identical () =
+  with_temp_dir (fun dir ->
+      let cache = Runner.cache ~dir () in
+      let cold = render (sweep ~cache ~jobs:1 ()) in
+      let after_cold = Result_store.counters cache.Runner.store in
+      check Alcotest.int "cold sweep computed everything" 6
+        after_cold.Result_store.stored;
+      let warm = render (sweep ~cache ~jobs:1 ()) in
+      let after_warm = Result_store.counters cache.Runner.store in
+      check Alcotest.string "warm render byte-identical" cold warm;
+      check Alcotest.int "warm sweep computed nothing" 6
+        after_warm.Result_store.stored;
+      check Alcotest.int "warm sweep all hits" 6
+        (after_warm.Result_store.hits - after_cold.Result_store.hits);
+      (* Parallel warm sweep under cost-aware scheduling: still the same
+         bytes, whatever order the pool ran things in. *)
+      let parallel = render (sweep ~cache ~jobs:4 ~scheduling:`Cost ()) in
+      check Alcotest.string "-j4 scheduled warm sweep identical" cold parallel;
+      let fifo = render (sweep ~cache ~jobs:4 ~scheduling:`Fifo ()) in
+      check Alcotest.string "-j4 fifo warm sweep identical" cold fifo)
+
+let cold_scheduled_sweep_matches_uncached () =
+  (* Cost-aware scheduling on a *cold* store (and on a store with a
+     learned model) must not change result bytes either. *)
+  let plain = render (Runner.run_configs ~config_ids:[ 0; 16 ] ~runs:2 tiny_experiment) in
+  with_temp_dir (fun dir ->
+      let cache = Runner.cache ~dir () in
+      let seed =
+        render (Runner.run_configs ~config_ids:[ 0; 16 ] ~runs:2 ~cache
+                  ~scheduling:`Cost ~jobs:2 tiny_experiment)
+      in
+      check Alcotest.string "cold scheduled = uncached" plain seed;
+      (* Drop the entries but keep costs.tsv: the next sweep is cold with
+         a fully-informed cost model — the FIFO-vs-LPT benchmark setup. *)
+      Array.iter
+        (fun e ->
+          if Filename.check_suffix e ".v1" then
+            Sys.remove (Filename.concat dir e))
+        (Sys.readdir dir);
+      let informed =
+        render (Runner.run_configs ~config_ids:[ 0; 16 ] ~runs:2 ~cache
+                  ~scheduling:`Cost ~jobs:2 tiny_experiment)
+      in
+      check Alcotest.string "informed-model cold sweep = uncached" plain informed)
+
+let corrupt_entry_rerun_end_to_end () =
+  with_temp_dir (fun dir ->
+      let cache = Runner.cache ~dir () in
+      let cold = Runner.execute ~cache (job ()) in
+      let path =
+        Result_store.entry_path cache.Runner.store
+          (Runner.fingerprint ~verify:false (job ()))
+      in
+      (* Truncate the only entry; the next execute must detect it, re-run
+         the simulation, and heal the store. *)
+      let contents = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub contents 0 10));
+      let healed = Runner.execute ~cache (job ()) in
+      check Alcotest.bool "re-run equals original" true (cold = healed);
+      check Alcotest.int "corruption counted" 1
+        (Result_store.counters cache.Runner.store).Result_store.corrupt;
+      check Alcotest.bool "store healed" true
+        (Result_store.mem cache.Runner.store
+           (Runner.fingerprint ~verify:false (job ()))))
+
+let suite =
+  [
+    ( "store.fingerprint",
+      [
+        case "knob vectors distinct; ids 0,1 share" `Quick
+          fingerprint_distinguishes_knob_vectors;
+        case "sensitive to every input" `Quick fingerprint_sensitive_to_each_input;
+        case "length-prefixed fields" `Quick fingerprint_no_concatenation_collisions;
+      ] );
+    ( "store.codec",
+      [
+        QCheck_alcotest.to_alcotest prop_metrics_roundtrip;
+        case "rejects malformed payloads" `Quick codec_rejects_malformed;
+      ] );
+    ( "store.robustness",
+      [
+        case "round trip and persistence" `Quick store_roundtrip;
+        truncated;
+        bitflipped;
+        case "execute caches; refresh recomputes" `Quick
+          execute_caches_and_refresh_recomputes;
+        case "cost model learns and persists" `Quick cost_model_learns_and_persists;
+        case "corrupt entry re-runs end to end" `Quick corrupt_entry_rerun_end_to_end;
+      ] );
+    ( "store.scheduling",
+      [
+        case "LPT order" `Quick scheduler_orders_longest_first;
+        case "pool preserves result positions" `Quick
+          pool_in_order_respects_result_positions;
+      ] );
+    ( "store.sweep",
+      [
+        case "warm sweep byte-identical" `Quick warm_sweep_byte_identical;
+        case "cold scheduled sweep = uncached" `Quick
+          cold_scheduled_sweep_matches_uncached;
+      ] );
+  ]

@@ -193,6 +193,23 @@ let prop_bitmap_popcount =
       List.iter (fun i -> Bitmap.set b i) indices;
       Bitmap.pop_count b = List.length (List.sort_uniq compare indices))
 
+(* The table-driven pop_count must agree with the naive bit-by-bit count
+   on arbitrary set/clear histories and sizes (including sizes that are
+   not multiples of 8, where the trailing byte is only partly used). *)
+let prop_bitmap_popcount_matches_naive =
+  QCheck.Test.make ~name:"bitmap: table pop_count = naive per-bit count"
+    ~count:300
+    QCheck.(triple (int_range 1 400) (list (int_bound 399)) (list (int_bound 399)))
+    (fun (size, sets, clears) ->
+      let b = Bitmap.create size in
+      List.iter (fun i -> if i < size then Bitmap.set b i) sets;
+      List.iter (fun i -> if i < size then Bitmap.clear b i) clears;
+      let naive = ref 0 in
+      for i = 0 to size - 1 do
+        if Bitmap.get b i then incr naive
+      done;
+      Bitmap.pop_count b = !naive)
+
 let prop_bitmap_clear_inverts_set =
   QCheck.Test.make ~name:"bitmap: clear undoes set, leaves the rest" ~count:200
     QCheck.(pair (list (int_bound 300)) (list (int_bound 300)))
@@ -365,6 +382,7 @@ let suite =
         case "fold" `Quick bitmap_fold;
         QCheck_alcotest.to_alcotest prop_bitmap_set_get;
         QCheck_alcotest.to_alcotest prop_bitmap_popcount;
+        QCheck_alcotest.to_alcotest prop_bitmap_popcount_matches_naive;
         QCheck_alcotest.to_alcotest prop_bitmap_clear_inverts_set;
         QCheck_alcotest.to_alcotest prop_bitmap_iter_fold_agree;
         QCheck_alcotest.to_alcotest prop_bitmap_test_and_set_reports_prior;

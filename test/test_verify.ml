@@ -325,6 +325,7 @@ let shrink_respects_predicate () =
 let tiny_experiment () =
   {
     E.Runner.name = "verify-determinism";
+    key = "test-verify-determinism;heap=1048576";
     make_vm =
       (fun config -> Vm.create ~layout ~config ~max_heap:(1024 * 1024) ());
     workload =
