@@ -1,0 +1,136 @@
+(* bench/shard: wall-clock scaling of epoch-sharded execution.
+
+   Runs the 8-mutator Multi_synthetic workload once per shard count (1, 2,
+   4, ... up to --max-domains), asserts that every run's simulated metrics
+   are byte-identical (the determinism contract, checked even while
+   benchmarking), and reports host wall-clock time and speedup relative to
+   --shard-domains 1.
+
+   Speedup depends entirely on the host: a single-core container will show
+   ~1.0x everywhere, which is expected and recorded honestly — the JSON
+   includes the host's recommended domain count so readers can interpret
+   the curve.
+
+   Usage:
+     dune exec bench/shard/main.exe --                     # default sizes
+     dune exec bench/shard/main.exe -- --quick             # CI smoke sizes
+     dune exec bench/shard/main.exe -- --out BENCH_shard.json *)
+
+module Vm = Hcsgc_runtime.Vm
+module Config = Hcsgc_core.Config
+module Layout = Hcsgc_heap.Layout
+module Multi = Hcsgc_workloads.Multi_synthetic
+module Runner = Hcsgc_experiments.Runner
+
+let layout = Layout.scaled ~small_page:(64 * 1024)
+
+let mutators = 8
+
+let params ~rounds =
+  { Multi.default with Multi.mutators; rounds }
+
+let run_once ~shard_domains ~rounds =
+  let vm =
+    Vm.create ~layout
+      ~machine_config:Hcsgc_experiments.Scaled_machine.config ~mutators
+      ~shard_domains ~config:(Config.of_id 18) ~max_heap:(24 * 1024 * 1024)
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Multi.run vm (params ~rounds) in
+  Vm.finish vm;
+  let dt = Unix.gettimeofday () -. t0 in
+  let fingerprint =
+    Runner.metrics_to_string (Runner.collect vm)
+    ^ "|"
+    ^ String.concat ","
+        (Array.to_list (Array.map string_of_int r.Multi.checksums))
+  in
+  (dt, fingerprint)
+
+type sample = { domains : int; seconds : float; speedup : float }
+
+let json_of ~label ~rounds ~host_domains samples =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"benchmark\": %S,\n" "bench/shard");
+  Buffer.add_string b (Printf.sprintf "  \"label\": %S,\n" label);
+  Buffer.add_string b (Printf.sprintf "  \"ocaml\": %S,\n" Sys.ocaml_version);
+  Buffer.add_string b
+    (Printf.sprintf "  \"host_recommended_domains\": %d,\n" host_domains);
+  Buffer.add_string b (Printf.sprintf "  \"mutators\": %d,\n" mutators);
+  Buffer.add_string b (Printf.sprintf "  \"rounds\": %d,\n" rounds);
+  Buffer.add_string b "  \"deterministic\": true,\n";
+  Buffer.add_string b "  \"samples\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"shard_domains\": %d, \"seconds\": %.3f, \"speedup\": \
+            %.2f }%s\n"
+           s.domains s.seconds s.speedup
+           (if i = List.length samples - 1 then "" else ",")))
+    samples;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let () =
+  let rounds = ref 60 in
+  let max_domains = ref 8 in
+  let out = ref None in
+  let label = ref "current" in
+  let spec =
+    [
+      ("--rounds", Arg.Set_int rounds, "N workload rounds (default 60)");
+      ("--quick", Arg.Unit (fun () -> rounds := 10), " CI smoke sizes");
+      ( "--max-domains",
+        Arg.Set_int max_domains,
+        "N largest shard count measured (default 8)" );
+      ("--out", Arg.String (fun s -> out := Some s), "FILE write JSON here");
+      ("--label", Arg.Set_string label, "S label stored in the JSON output");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench/shard/main.exe -- epoch-sharded execution scaling";
+  let counts =
+    let rec up n = if n > !max_domains then [] else n :: up (2 * n) in
+    up 1
+  in
+  let host_domains = Domain.recommended_domain_count () in
+  Printf.printf
+    "shard scaling: %d mutators, %d rounds, host recommends %d domain(s)\n%!"
+    mutators !rounds host_domains;
+  let baseline = ref None in
+  let samples =
+    List.map
+      (fun domains ->
+        let seconds, fp = run_once ~shard_domains:domains ~rounds:!rounds in
+        (match !baseline with
+        | None -> baseline := Some (seconds, fp)
+        | Some (_, fp1) ->
+            if fp <> fp1 then (
+              Printf.eprintf
+                "FATAL: --shard-domains %d diverged from --shard-domains \
+                 %d\n%!"
+                domains (List.hd counts);
+              exit 1));
+        let speedup =
+          match !baseline with
+          | Some (s1, _) when seconds > 0.0 -> s1 /. seconds
+          | _ -> 1.0
+        in
+        Printf.printf "  shard-domains %d: %6.3f s  (speedup %.2fx)\n%!"
+          domains seconds speedup;
+        { domains; seconds; speedup })
+      counts
+  in
+  Printf.printf "all shard counts byte-identical\n%!";
+  match !out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc
+        (json_of ~label:!label ~rounds:!rounds ~host_domains samples);
+      close_out oc;
+      Printf.printf "wrote %s\n%!" file

@@ -48,6 +48,20 @@ let scale =
   let doc = "Divide workload size by $(docv)." in
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"K" ~doc)
 
+let shard_domains =
+  let doc =
+    "Execution model for the memory-hierarchy simulation. 0 (default) is \
+     the classic inline interleave. $(docv) >= 1 selects epoch-sharded \
+     execution: each mutator core's cache traffic is deferred and replayed \
+     across up to $(docv) worker domains at epoch barriers, then merged \
+     into the shared LLC in mutator order. Results are byte-identical at \
+     any $(docv) >= 1 (only wall-clock time changes); sharded and inline \
+     runs are cached under distinct keys. Orthogonal to --jobs, which \
+     parallelises across whole runs of a sweep; --shard-domains \
+     parallelises inside a single many-mutator run."
+  in
+  Arg.(value & opt int 0 & info [ "shard-domains" ] ~docv:"N" ~doc)
+
 let saturated =
   let doc = "Pin mutator and GC to a single core (Fig. 6 setup)." in
   Arg.(value & flag & info [ "saturated" ] ~doc)
@@ -222,11 +236,13 @@ let synthetic_cmd =
     Arg.(value & opt int 0 & info [ "cold-ratio" ] ~docv:"R"
            ~doc:"Never-accessed cold elements per hot element (Fig. 6 uses 10).")
   in
-  let run config_id all runs jobs scale saturated _seed elements phases
-      cold_ratio trace_out trace_sample verify cache_dir no_cache refresh =
+  let run config_id all runs jobs scale saturated shard_domains _seed elements
+      phases cold_ratio trace_out trace_sample verify cache_dir no_cache
+      refresh =
     let scale = max 1 (scale * (100_000 / max 1 elements)) in
     let exp =
-      E.Fig_synthetic.experiment ~phases ~cold_ratio ~saturated ~scale ()
+      E.Fig_synthetic.experiment ~phases ~cold_ratio ~saturated ~shard_domains
+        ~scale ()
     in
     run_experiment ?trace_out ~trace_sample ~verify
       ?cache:(cache_of ~no_cache ~refresh ~cache_dir)
@@ -236,8 +252,8 @@ let synthetic_cmd =
     (Cmd.info "synthetic" ~doc:"The paper's synthetic micro-benchmark (§4.4)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed $ elements $ phases $ cold_ratio $ trace_out $ trace_sample
-      $ verify_flag $ cache_dir $ no_cache $ refresh_flag)
+      $ shard_domains $ seed $ elements $ phases $ cold_ratio $ trace_out
+      $ trace_sample $ verify_flag $ cache_dir $ no_cache $ refresh_flag)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)
@@ -270,18 +286,23 @@ let graph_cmd =
         & opt (conv (parse, print)) `Uk
         & info [ "dataset" ] ~docv:"uk|enwiki" ~doc:"Table 3 input (generator stand-in).")
   in
-  let run config_id all runs jobs scale _saturated _seed algo dataset trace_out
-      trace_sample verify cache_dir no_cache refresh =
+  let run config_id all runs jobs scale _saturated shard_domains _seed algo
+      dataset trace_out trace_sample verify cache_dir no_cache refresh =
     let module D = Hcsgc_graph.Dataset in
     let exp =
       match (algo, dataset) with
-      | `Cc, `Uk -> E.Fig_graph.cc_experiment ~dataset:D.uk_cc ~scale:(4 * scale)
+      | `Cc, `Uk ->
+          E.Fig_graph.cc_experiment ~shard_domains ~dataset:D.uk_cc
+            ~scale:(4 * scale) ()
       | `Cc, `Enwiki ->
-          E.Fig_graph.cc_experiment ~dataset:D.enwiki_cc ~scale:(4 * scale)
+          E.Fig_graph.cc_experiment ~shard_domains ~dataset:D.enwiki_cc
+            ~scale:(4 * scale) ()
       | `Mc, `Uk ->
-          E.Fig_graph.mc_experiment ~dataset:D.uk_mc ~scale:(2 * scale) ()
+          E.Fig_graph.mc_experiment ~shard_domains ~dataset:D.uk_mc
+            ~scale:(2 * scale) ()
       | `Mc, `Enwiki ->
-          E.Fig_graph.mc_experiment ~dataset:D.enwiki_mc ~scale:(2 * scale) ()
+          E.Fig_graph.mc_experiment ~shard_domains ~dataset:D.enwiki_mc
+            ~scale:(2 * scale) ()
     in
     run_experiment ?trace_out ~trace_sample ~verify
       ?cache:(cache_of ~no_cache ~refresh ~cache_dir)
@@ -291,46 +312,46 @@ let graph_cmd =
     (Cmd.info "graph" ~doc:"JGraphT-style graph workloads (§4.5)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed $ algo $ dataset $ trace_out $ trace_sample $ verify_flag
-      $ cache_dir $ no_cache $ refresh_flag)
+      $ shard_domains $ seed $ algo $ dataset $ trace_out $ trace_sample
+      $ verify_flag $ cache_dir $ no_cache $ refresh_flag)
 
 (* ------------------------------------------------------------------ *)
 (* h2 / tradebeans / specjbb                                           *)
 (* ------------------------------------------------------------------ *)
 
 let h2_cmd =
-  let run config_id all runs jobs scale _ _ trace_out trace_sample verify
-      cache_dir no_cache refresh =
+  let run config_id all runs jobs scale _ shard_domains _ trace_out
+      trace_sample verify cache_dir no_cache refresh =
     run_experiment ?trace_out ~trace_sample ~verify
       ?cache:(cache_of ~no_cache ~refresh ~cache_dir)
       ~all ~runs ~jobs ~config_id
-      (E.Fig_dacapo.h2_experiment ~scale)
+      (E.Fig_dacapo.h2_experiment ~shard_domains ~scale ())
   in
   Cmd.v
     (Cmd.info "h2" ~doc:"In-memory-database workload (DaCapo h2 stand-in, §4.6)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed $ trace_out $ trace_sample $ verify_flag $ cache_dir $ no_cache
-      $ refresh_flag)
+      $ shard_domains $ seed $ trace_out $ trace_sample $ verify_flag
+      $ cache_dir $ no_cache $ refresh_flag)
 
 let tradebeans_cmd =
-  let run config_id all runs jobs scale _ _ trace_out trace_sample verify
-      cache_dir no_cache refresh =
+  let run config_id all runs jobs scale _ shard_domains _ trace_out
+      trace_sample verify cache_dir no_cache refresh =
     run_experiment ?trace_out ~trace_sample ~verify
       ?cache:(cache_of ~no_cache ~refresh ~cache_dir)
       ~all ~runs ~jobs ~config_id
-      (E.Fig_dacapo.tradebeans_experiment ~scale)
+      (E.Fig_dacapo.tradebeans_experiment ~shard_domains ~scale ())
   in
   Cmd.v
     (Cmd.info "tradebeans"
        ~doc:"Trading-session workload (DaCapo tradebeans stand-in, §4.6)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
-      $ seed $ trace_out $ trace_sample $ verify_flag $ cache_dir $ no_cache
-      $ refresh_flag)
+      $ shard_domains $ seed $ trace_out $ trace_sample $ verify_flag
+      $ cache_dir $ no_cache $ refresh_flag)
 
 let specjbb_cmd =
-  let run config_id _all _runs scale _ seed verify =
+  let run config_id _all _runs scale _ shard_domains seed verify =
     let module S = Hcsgc_workloads.Specjbb_sim in
     let config = Config.of_id config_id in
     let params = E.Fig_specjbb.experiment_params ~scale in
@@ -338,7 +359,8 @@ let specjbb_cmd =
       Vm.create
         ~layout:(Layout.scaled ~small_page:(64 * 1024))
         ~machine_config:E.Scaled_machine.config
-        ~mutators:params.S.handlers ~config ~max_heap:(24 * 1024 * 1024) ()
+        ~mutators:params.S.handlers ~shard_domains ~config
+        ~max_heap:(24 * 1024 * 1024) ()
     in
     if verify then Vm.enable_verification vm;
     let r = S.run vm { params with S.seed } in
@@ -355,8 +377,8 @@ let specjbb_cmd =
   Cmd.v
     (Cmd.info "specjbb" ~doc:"SPECjbb2015-style ramping workload (§4.7)")
     Term.(
-      const run $ config_id $ all_configs $ runs $ scale $ saturated $ seed
-      $ verify_flag)
+      const run $ config_id $ all_configs $ runs $ scale $ saturated
+      $ shard_domains $ seed $ verify_flag)
 
 let lru_cmd =
   let run config_id gc_log seed verify =
@@ -412,14 +434,16 @@ let profile_cmd =
         Some
           (E.Fig_synthetic.experiment ~cold_ratio:10 ~saturated:true
              ~heap_mult:2 ~scale ())
-    | "cc-uk" -> Some (E.Fig_graph.cc_experiment ~dataset:D.uk_cc ~scale:(4 * scale))
+    | "cc-uk" ->
+        Some (E.Fig_graph.cc_experiment ~dataset:D.uk_cc ~scale:(4 * scale) ())
     | "cc-enwiki" ->
-        Some (E.Fig_graph.cc_experiment ~dataset:D.enwiki_cc ~scale:(4 * scale))
+        Some
+          (E.Fig_graph.cc_experiment ~dataset:D.enwiki_cc ~scale:(4 * scale) ())
     | "mc-uk" -> Some (E.Fig_graph.mc_experiment ~dataset:D.uk_mc ~scale:(2 * scale) ())
     | "mc-enwiki" ->
         Some (E.Fig_graph.mc_experiment ~dataset:D.enwiki_mc ~scale:(2 * scale) ())
-    | "h2" -> Some (E.Fig_dacapo.h2_experiment ~scale)
-    | "tradebeans" -> Some (E.Fig_dacapo.tradebeans_experiment ~scale)
+    | "h2" -> Some (E.Fig_dacapo.h2_experiment ~scale ())
+    | "tradebeans" -> Some (E.Fig_dacapo.tradebeans_experiment ~scale ())
     | _ -> None
   in
   let run config_id scale exp_name trace_out trace_sample seed verify
@@ -486,17 +510,26 @@ let fuzz_cmd =
     Arg.(value & flag & info [ "no-oracle" ]
            ~doc:"Skip the mark-sweep reachability oracle (invariants only).")
   in
-  let run config_id seed seeds ops slots out no_oracle =
+  let mutators =
+    Arg.(value & opt int 1 & info [ "mutators" ] ~docv:"N"
+           ~doc:"Deal actions round-robin over $(docv) mutator threads.")
+  in
+  let run config_id seed seeds ops slots out no_oracle mutators shard_domains =
     let config = Config.of_id config_id in
     Format.fprintf fmt
-      "fuzzing %d seed(s) from %d: config %d (%s), %d ops x %d slots@." seeds
-      seed config_id (Config.to_string config) ops slots;
+      "fuzzing %d seed(s) from %d: config %d (%s), %d ops x %d slots, %d \
+       mutator(s)%s@."
+      seeds seed config_id (Config.to_string config) ops slots mutators
+      (if shard_domains > 0 then
+         Printf.sprintf " [sharded x%d]" shard_domains
+       else "");
     let failed = ref None in
     let i = ref 0 in
     while !failed = None && !i < seeds do
       let s = seed + !i in
       (match
-         Fuzz.check_seed ~oracle:(not no_oracle) ~config ~slots ~ops ~seed:s ()
+         Fuzz.check_seed ~oracle:(not no_oracle) ~mutators ~shard_domains
+           ~config ~slots ~ops ~seed:s ()
        with
       | None ->
           if (!i + 1) mod 25 = 0 || !i + 1 = seeds then
@@ -523,7 +556,8 @@ let fuzz_cmd =
           enabled, shrinking any failure to a minimal replayable action \
           sequence (written to --out)")
     Term.(
-      const run $ config_id $ seed $ seeds $ ops $ slots $ out $ no_oracle)
+      const run $ config_id $ seed $ seeds $ ops $ slots $ out $ no_oracle
+      $ mutators $ shard_domains)
 
 (* ------------------------------------------------------------------ *)
 (* figure: delegate to the bench registry                              *)
@@ -535,22 +569,27 @@ let figure_cmd =
         & pos 0 (some string) None
         & info [] ~docv:"FIG" ~doc:"t1 t2 t3 f4..f13")
   in
-  let run which runs jobs scale cache_dir no_cache refresh =
+  let run which runs jobs scale shard_domains cache_dir no_cache refresh =
     let cache = cache_of ~no_cache ~refresh ~cache_dir in
+    let sd = shard_domains in
     (match which with
     | "t1" -> E.Tables.t1 fmt
     | "t2" -> E.Tables.t2 fmt
     | "t3" -> E.Tables.t3 ~scale fmt
-    | "f4" -> E.Fig_synthetic.fig4 ~runs ~jobs ~scale ?cache fmt
-    | "f5" -> E.Fig_synthetic.fig5 ~runs ~jobs ~scale ?cache fmt
-    | "f6" -> E.Fig_synthetic.fig6 ~runs ~jobs ~scale ?cache fmt
-    | "f7" -> E.Fig_graph.fig7 ~runs ~jobs ~scale ?cache fmt
-    | "f8" -> E.Fig_graph.fig8 ~runs ~jobs ~scale ?cache fmt
-    | "f9" -> E.Fig_graph.fig9 ~runs ~jobs ~scale ?cache fmt
-    | "f10" -> E.Fig_graph.fig10 ~runs ~jobs ~scale ?cache fmt
-    | "f11" -> E.Fig_dacapo.fig11 ~runs ~jobs ~scale ?cache fmt
-    | "f12" -> E.Fig_dacapo.fig12 ~runs ~jobs ~scale ?cache fmt
-    | "f13" -> E.Fig_specjbb.fig13 ~runs ~jobs ~scale fmt
+    | "f4" -> E.Fig_synthetic.fig4 ~runs ~jobs ~scale ~shard_domains:sd ?cache fmt
+    | "f5" -> E.Fig_synthetic.fig5 ~runs ~jobs ~scale ~shard_domains:sd ?cache fmt
+    | "f6" ->
+        (* saturated single core: no sharded execution model *)
+        if sd > 0 then
+          Format.eprintf "[figure] --shard-domains ignored for saturated f6@.";
+        E.Fig_synthetic.fig6 ~runs ~jobs ~scale ?cache fmt
+    | "f7" -> E.Fig_graph.fig7 ~runs ~jobs ~scale ~shard_domains:sd ?cache fmt
+    | "f8" -> E.Fig_graph.fig8 ~runs ~jobs ~scale ~shard_domains:sd ?cache fmt
+    | "f9" -> E.Fig_graph.fig9 ~runs ~jobs ~scale ~shard_domains:sd ?cache fmt
+    | "f10" -> E.Fig_graph.fig10 ~runs ~jobs ~scale ~shard_domains:sd ?cache fmt
+    | "f11" -> E.Fig_dacapo.fig11 ~runs ~jobs ~scale ~shard_domains:sd ?cache fmt
+    | "f12" -> E.Fig_dacapo.fig12 ~runs ~jobs ~scale ~shard_domains:sd ?cache fmt
+    | "f13" -> E.Fig_specjbb.fig13 ~runs ~jobs ~scale ~shard_domains:sd fmt
     | other -> Format.eprintf "unknown figure: %s@." other);
     Option.iter
       (fun c -> Format.eprintf "[figure] %s@." (store_line c.E.Runner.store))
@@ -563,7 +602,7 @@ let figure_cmd =
       $ Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc:"Sample size.")
       $ jobs
       $ Arg.(value & opt int 2 & info [ "scale" ] ~docv:"K" ~doc:"Scale divisor.")
-      $ cache_dir $ no_cache $ refresh_flag)
+      $ shard_domains $ cache_dir $ no_cache $ refresh_flag)
 
 let () =
   let info =

@@ -4,6 +4,7 @@ module Page = Hcsgc_heap.Page
 module Addr = Hcsgc_heap.Addr
 module Layout = Hcsgc_heap.Layout
 module Fwd_table = Hcsgc_heap.Fwd_table
+module Alloc_region = Hcsgc_heap.Alloc_region
 module Machine = Hcsgc_memsim.Machine
 module Vec = Hcsgc_util.Vec
 
@@ -60,11 +61,12 @@ type t = {
   pending_ec : Page.t Vec.t;  (* LAZYRELOCATE: EC deferred to next cycle *)
   fwd_index : (int, Page.t) Hashtbl.t;  (* granule -> freed page w/ live fwd *)
   retire_queue : (int * Page.t) Vec.t;  (* (cycle freed, page) *)
-  (* Bump targets.  Mutator allocation and relocation pages are per core;
-     GC threads keep a hot and a cold target (§3.3); medium-object targets
-     are shared. *)
-  mut_alloc : (int, Page.t) Hashtbl.t;
-  mut_relo : (int, Page.t) Hashtbl.t;
+  (* Bump targets.  Mutator allocation and relocation pages are per core
+     — array-backed so each shard core owns exactly one slot and reads
+     allocate nothing (shard-safe allocation regions); GC threads keep a
+     hot and a cold target (§3.3); medium-object targets are shared. *)
+  mut_alloc : Alloc_region.t;
+  mut_relo : Alloc_region.t;
   mutable medium_alloc : Page.t option;
   mutable medium_relo : Page.t option;
   mutable gc_hot : Page.t option;
@@ -111,8 +113,8 @@ let create ?(sink = Gc_log.null_sink) ~heap ~machine ~config ~gc_core ~roots
     pending_ec = Vec.create ();
     fwd_index = Hashtbl.create 256;
     retire_queue = Vec.create ();
-    mut_alloc = Hashtbl.create 4;
-    mut_relo = Hashtbl.create 4;
+    mut_alloc = Alloc_region.create ~cores:(Machine.cores machine) ();
+    mut_relo = Alloc_region.create ~cores:(Machine.cores machine) ();
     medium_alloc = None;
     medium_relo = None;
     gc_hot = None;
@@ -225,11 +227,8 @@ let relo_target t ~who ~(src : Page.t) (obj : Heap_obj.t) bytes =
       match who with
       | Mutator core ->
           target_bump t ~cls:Layout.Small ~force:true
-            ~get:(fun () -> Hashtbl.find_opt t.mut_relo core)
-            ~set:(fun p ->
-              match p with
-              | Some p -> Hashtbl.replace t.mut_relo core p
-              | None -> Hashtbl.remove t.mut_relo core)
+            ~get:(fun () -> Alloc_region.get t.mut_relo ~core)
+            ~set:(fun p -> Alloc_region.set t.mut_relo ~core p)
             bytes
       | Gc ->
           (* §3.3: with COLDPAGE on, GC threads send cold objects to a
@@ -503,11 +502,8 @@ let alloc t ~core ~nrefs ~nwords =
   | Layout.Small -> (
       match
         target_bump t ~cls:Layout.Small ~force:false
-          ~get:(fun () -> Hashtbl.find_opt t.mut_alloc core)
-          ~set:(fun p ->
-            match p with
-            | Some p -> Hashtbl.replace t.mut_alloc core p
-            | None -> Hashtbl.remove t.mut_alloc core)
+          ~get:(fun () -> Alloc_region.get t.mut_alloc ~core)
+          ~set:(fun p -> Alloc_region.set t.mut_alloc ~core p)
           bytes
       with
       | None -> None

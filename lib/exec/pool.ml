@@ -9,7 +9,17 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
-let default_jobs () = max 1 (min 16 (Domain.recommended_domain_count ()))
+(* HCSGC_JOBS overrides the clamp — the escape hatch for CI runners and
+   big machines.  Malformed or non-positive values fall back silently so a
+   stray environment variable can never break a run. *)
+let default_jobs () =
+  let fallback () = max 1 (min 16 (Domain.recommended_domain_count ())) in
+  match Sys.getenv_opt "HCSGC_JOBS" with
+  | None -> fallback ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> fallback ())
 
 type 'a state =
   | Pending
@@ -124,6 +134,37 @@ let map_array_in_order t ~order f xs =
   let promises = Array.make n None in
   Array.iter (fun i -> promises.(i) <- Some (async t (fun () -> f xs.(i)))) order;
   Array.map (function Some p -> await p | None -> assert false) promises
+
+(* Scoped fork-join for intra-run sharding: the caller keeps task 0 (it
+   usually owns non-shareable state such as the submitting domain's
+   telemetry), workers take the rest, and everyone joins before return.
+   Exceptions re-raise in task-index order, so a multi-task failure is
+   reported deterministically no matter which worker lost the race. *)
+let fork_join t ~n f =
+  if n < 0 then invalid_arg "Pool.fork_join: negative task count";
+  if n > 0 then
+    if t.jobs <= 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let promises =
+        Array.init (n - 1) (fun i -> async t (fun () -> f (i + 1)))
+      in
+      let first_exn = ref None in
+      (try f 0
+       with e -> first_exn := Some (e, Printexc.get_raw_backtrace ()));
+      Array.iter
+        (fun p ->
+          try ignore (await p)
+          with e ->
+            if !first_exn = None then
+              first_exn := Some (e, Printexc.get_raw_backtrace ()))
+        promises;
+      match !first_exn with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
 
 let shutdown t =
   if not t.closed then begin

@@ -1,0 +1,20 @@
+type t = { mutable slots : Page.t option array }
+
+let create ?(cores = 1) () = { slots = Array.make (max 1 cores) None }
+
+let ensure t core =
+  let n = Array.length t.slots in
+  if core >= n then begin
+    let bigger = Array.make (max (core + 1) (2 * n)) None in
+    Array.blit t.slots 0 bigger 0 n;
+    t.slots <- bigger
+  end
+
+let get t ~core =
+  if core < 0 then invalid_arg "Alloc_region.get: negative core";
+  if core >= Array.length t.slots then None else t.slots.(core)
+
+let set t ~core page =
+  if core < 0 then invalid_arg "Alloc_region.set: negative core";
+  ensure t core;
+  t.slots.(core) <- page

@@ -1,0 +1,99 @@
+(* Per-shard deferred memory traffic for epoch-sharded simulation.
+
+   A sharded {!Machine} does not simulate a shard core's accesses at the
+   moment they are issued.  Instead each access is appended to the shard's
+   [log] — a flat int buffer, two tag bits per entry — and simulated later
+   by {!Machine.replay_shard}, which walks the log against the shard's
+   private L1/L2/TLB/prefetcher and emits the accesses that would reach the
+   shared LLC into [llc] (same encoding idea: two kind bits per entry).
+   Replay touches only this record and the shard's own core state, so any
+   number of shards replay concurrently on worker domains; the LLC stream
+   is then resolved sequentially, in shard-id order, by
+   {!Machine.merge_shard} — which is what makes the result independent of
+   how many domains did the replaying.
+
+   Counter deltas ([d_*]) buffer the machine-wide counter increments replay
+   would have made: the per-core counters are shard-private and updated
+   during replay, but the machine totals are shared, so their increments
+   are folded in at merge time. *)
+
+type t = {
+  mutable log : int array;
+  mutable log_len : int;
+  mutable llc : int array;
+  mutable llc_len : int;
+  mutable lat : int;  (* latency resolved privately during replay *)
+  mutable d_loads : int;
+  mutable d_stores : int;
+  mutable d_l1m : int;
+  mutable d_l2m : int;
+  mutable d_pf : int;
+  mutable d_tlbm : int;
+}
+
+(* Access-log entry: [(addr lsl 2) lor op].  Range ops are followed by a
+   bare byte count.  Addresses are simulated heap offsets (well under
+   2^40), so the shift never overflows a 63-bit int. *)
+let op_load = 0
+let op_store = 1
+let op_load_range = 2
+let op_store_range = 3
+
+(* LLC-stream entry: [(line lsl 2) lor kind]. *)
+let llc_demand_load = 0
+let llc_demand_store = 1
+let llc_insert = 2
+
+let create () =
+  {
+    log = Array.make 1024 0;
+    log_len = 0;
+    llc = Array.make 256 0;
+    llc_len = 0;
+    lat = 0;
+    d_loads = 0;
+    d_stores = 0;
+    d_l1m = 0;
+    d_l2m = 0;
+    d_pf = 0;
+    d_tlbm = 0;
+  }
+
+let[@inline] push_raw t v =
+  let n = Array.length t.log in
+  if t.log_len = n then begin
+    let bigger = Array.make (2 * n) 0 in
+    Array.blit t.log 0 bigger 0 n;
+    t.log <- bigger
+  end;
+  Array.unsafe_set t.log t.log_len v;
+  t.log_len <- t.log_len + 1
+
+let[@inline] log_access t ~op addr = push_raw t ((addr lsl 2) lor op)
+
+let[@inline] log_range t ~op addr bytes =
+  push_raw t ((addr lsl 2) lor op);
+  push_raw t bytes
+
+let[@inline] push_llc t ~kind line =
+  let n = Array.length t.llc in
+  if t.llc_len = n then begin
+    let bigger = Array.make (2 * n) 0 in
+    Array.blit t.llc 0 bigger 0 n;
+    t.llc <- bigger
+  end;
+  Array.unsafe_set t.llc t.llc_len ((line lsl 2) lor kind);
+  t.llc_len <- t.llc_len + 1
+
+let pending t = t.log_len > 0
+
+let reset_epoch t =
+  t.log_len <- 0;
+  t.llc_len <- 0;
+  t.lat <- 0;
+  t.d_loads <- 0;
+  t.d_stores <- 0;
+  t.d_l1m <- 0;
+  t.d_l2m <- 0;
+  t.d_pf <- 0;
+  t.d_tlbm <- 0

@@ -1,0 +1,53 @@
+(** Per-shard deferred traffic buffers for epoch-sharded simulation.
+
+    One [t] per shard core of a sharded {!Machine}: the shard's logged
+    accesses for the current epoch, the LLC-bound request stream its replay
+    produced, the privately-resolved latency, and the machine-wide counter
+    deltas awaiting the sequential merge.  The record is exposed because
+    {!Machine} is its only real client and the replay loop is hot; treat it
+    as {!Machine}'s internals elsewhere. *)
+
+type t = {
+  mutable log : int array;  (** access log: [(addr lsl 2) lor op] entries *)
+  mutable log_len : int;
+  mutable llc : int array;  (** LLC stream: [(line lsl 2) lor kind] entries *)
+  mutable llc_len : int;
+  mutable lat : int;  (** latency resolved privately during replay *)
+  mutable d_loads : int;  (** machine-wide counter deltas, folded at merge *)
+  mutable d_stores : int;
+  mutable d_l1m : int;
+  mutable d_l2m : int;
+  mutable d_pf : int;
+  mutable d_tlbm : int;
+}
+
+(** Access-log op tags. Range ops are followed by a bare byte count. *)
+
+val op_load : int
+val op_store : int
+val op_load_range : int
+val op_store_range : int
+
+(** LLC-stream kind tags: demand loads carry latency back to the shard and
+    count misses; demand stores only install; inserts are prefetch fills. *)
+
+val llc_demand_load : int
+val llc_demand_store : int
+val llc_insert : int
+
+val create : unit -> t
+
+val log_access : t -> op:int -> int -> unit
+(** Append a single-address access to the epoch's log. *)
+
+val log_range : t -> op:int -> int -> int -> unit
+(** [log_range t ~op addr bytes] appends a range access. *)
+
+val push_llc : t -> kind:int -> int -> unit
+(** Append to the LLC request stream (called by replay). *)
+
+val pending : t -> bool
+(** Whether the epoch has logged, not-yet-merged accesses. *)
+
+val reset_epoch : t -> unit
+(** Clear log, LLC stream, latency and deltas (done by merge). *)

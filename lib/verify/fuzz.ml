@@ -98,12 +98,22 @@ type mirror = {
   mutable next_id : int;
 }
 
-type st = { vm : Vm.t; root : Heap_obj.t; m : mirror; slots : int }
+(* [cur_m] is the mutator thread issuing the current action: the driver
+   deals actions round-robin over the VM's mutators, so a multi-mutator
+   fuzz exercises per-thread clocks, bump targets and (sharded) epoch
+   logs without changing the logical action sequence. *)
+type st = {
+  vm : Vm.t;
+  root : Heap_obj.t;
+  m : mirror;
+  slots : int;
+  mutable cur_m : int;
+}
 
 let norm n bound = ((n mod bound) + bound) mod bound
 
 let load_slot st slot =
-  match (Vm.load_ref st.vm st.root slot, st.m.table.(slot)) with
+  match (Vm.load_ref ~m:st.cur_m st.vm st.root slot, st.m.table.(slot)) with
   | None, None -> None
   | Some obj, Some id -> Some (id, obj)
   | Some _, None -> mismatchf "table slot %d: managed set, mirror empty" slot
@@ -112,7 +122,7 @@ let load_slot st slot =
 let check_words st id obj =
   let mwords = Hashtbl.find st.m.words id in
   for w = 0 to nwords_per_obj - 1 do
-    let got = Vm.load_word st.vm obj w in
+    let got = Vm.load_word ~m:st.cur_m st.vm obj w in
     if got <> mwords.(w) then
       mismatchf "object %d word %d: mirror %d, managed %d" id w mwords.(w) got
   done
@@ -120,11 +130,14 @@ let check_words st id obj =
 let exec st = function
   | Alloc { slot } ->
       let slot = norm slot st.slots in
-      let obj = Vm.alloc st.vm ~nrefs:nrefs_per_obj ~nwords:nwords_per_obj in
+      let obj =
+        Vm.alloc ~m:st.cur_m st.vm ~nrefs:nrefs_per_obj
+          ~nwords:nwords_per_obj
+      in
       let id = st.m.next_id in
       st.m.next_id <- id + 1;
-      Vm.store_word st.vm obj 0 id;
-      Vm.store_ref st.vm st.root slot (Some obj);
+      Vm.store_word ~m:st.cur_m st.vm obj 0 id;
+      Vm.store_ref ~m:st.cur_m st.vm st.root slot (Some obj);
       st.m.table.(slot) <- Some id;
       Hashtbl.replace st.m.refs id (Array.make nrefs_per_obj None);
       Hashtbl.replace st.m.words id
@@ -135,7 +148,7 @@ let exec st = function
       let field = norm field nrefs_per_obj in
       match (load_slot st src_slot, load_slot st dst_slot) with
       | Some (ida, a), Some (idb, b) ->
-          Vm.store_ref st.vm a field (Some b);
+          Vm.store_ref ~m:st.cur_m st.vm a field (Some b);
           (Hashtbl.find st.m.refs ida).(field) <- Some idb
       | _ -> ())
   | Unlink { slot; field } -> (
@@ -143,7 +156,7 @@ let exec st = function
       let field = norm field nrefs_per_obj in
       match load_slot st slot with
       | Some (id, obj) ->
-          Vm.store_ref st.vm obj field None;
+          Vm.store_ref ~m:st.cur_m st.vm obj field None;
           (Hashtbl.find st.m.refs id).(field) <- None
       | None -> ())
   | Write_word { slot; word; value } -> (
@@ -151,7 +164,7 @@ let exec st = function
       let word = 1 + norm word (nwords_per_obj - 1) in
       match load_slot st slot with
       | Some (id, obj) ->
-          Vm.store_word st.vm obj word value;
+          Vm.store_word ~m:st.cur_m st.vm obj word value;
           (Hashtbl.find st.m.words id).(word) <- value
       | None -> ())
   | Read_path { slot; fields } -> (
@@ -164,7 +177,9 @@ let exec st = function
             | f :: rest -> (
                 check_words st id obj;
                 let f = norm f nrefs_per_obj in
-                match (Vm.load_ref st.vm obj f, (Hashtbl.find st.m.refs id).(f))
+                match
+                  ( Vm.load_ref ~m:st.cur_m st.vm obj f,
+                    (Hashtbl.find st.m.refs id).(f) )
                 with
                 | None, None -> ()
                 | Some o', Some id' -> walk id' o' rest
@@ -177,17 +192,17 @@ let exec st = function
           walk id0 obj0 fields)
   | Drop { slot } ->
       let slot = norm slot st.slots in
-      Vm.store_ref st.vm st.root slot None;
+      Vm.store_ref ~m:st.cur_m st.vm st.root slot None;
       st.m.table.(slot) <- None
   | Churn { count } ->
       for _ = 1 to max 0 count do
-        ignore (Vm.alloc st.vm ~nrefs:0 ~nwords:12)
+        ignore (Vm.alloc ~m:st.cur_m st.vm ~nrefs:0 ~nwords:12)
       done
   | Force_gc -> Vm.full_gc st.vm
   | Corrupt_color { slot; field } -> (
       let slot = norm slot st.slots in
       let field = norm field nrefs_per_obj in
-      match Vm.load_ref st.vm st.root slot with
+      match Vm.load_ref ~m:st.cur_m st.vm st.root slot with
       | None -> ()
       | Some obj ->
           let ptr = Heap_obj.get_ref obj field in
@@ -208,6 +223,7 @@ let exec st = function
           ignore (Fwd_table.claim page.Page.fwd ~offset:4 ~new_addr:0xdead0))
 
 let final_validation st =
+  st.cur_m <- 0;
   let seen = Hashtbl.create 64 in
   let rec validate id obj =
     if not (Hashtbl.mem seen id) then begin
@@ -215,7 +231,7 @@ let final_validation st =
       check_words st id obj;
       let mrefs = Hashtbl.find st.m.refs id in
       for f = 0 to nrefs_per_obj - 1 do
-        match (Vm.load_ref st.vm obj f, mrefs.(f)) with
+        match (Vm.load_ref ~m:st.cur_m st.vm obj f, mrefs.(f)) with
         | None, None -> ()
         | Some o', Some id' -> validate id' o'
         | Some _, None ->
@@ -228,7 +244,7 @@ let final_validation st =
   in
   Array.iteri
     (fun s id_opt ->
-      match (id_opt, Vm.load_ref st.vm st.root s) with
+      match (id_opt, Vm.load_ref ~m:st.cur_m st.vm st.root s) with
       | Some id, Some obj -> validate id obj
       | None, None -> ()
       | Some id, None -> mismatchf "final: table slot %d lost object %d" s id
@@ -239,8 +255,9 @@ let message_of_exn = function
   | Mismatch m -> "mirror mismatch: " ^ m
   | e -> Printexc.to_string e
 
-let run ?(verify = true) ?(oracle = true) ~config ~slots actions =
-  let vm = Vm.create ~layout ~config ~max_heap () in
+let run ?(verify = true) ?(oracle = true) ?(mutators = 1)
+    ?(shard_domains = 0) ~config ~slots actions =
+  let vm = Vm.create ~layout ~mutators ~shard_domains ~config ~max_heap () in
   if verify then Invariants.install ~oracle (Vm.collector vm);
   let root = Vm.alloc vm ~nrefs:slots ~nwords:0 in
   Vm.add_root vm root;
@@ -256,6 +273,7 @@ let run ?(verify = true) ?(oracle = true) ~config ~slots actions =
           next_id = 0;
         };
       slots;
+      cur_m = 0;
     }
   in
   let current = ref (-1, None) in
@@ -263,6 +281,7 @@ let run ?(verify = true) ?(oracle = true) ~config ~slots actions =
     List.iteri
       (fun i a ->
         current := (i, Some a);
+        st.cur_m <- i mod mutators;
         exec st a)
       actions;
     current := (List.length actions, None);
@@ -328,31 +347,31 @@ let splice inject base =
   in
   go 0 base inj
 
-let check_seed ?(verify = true) ?(oracle = true) ?(shrink_budget = 400)
-    ?(inject = []) ~config ~slots ~ops ~seed () =
+let check_seed ?(verify = true) ?(oracle = true) ?(mutators = 1)
+    ?(shard_domains = 0) ?(shrink_budget = 400) ?(inject = []) ~config
+    ~slots ~ops ~seed () =
   let base = Array.to_list (generate ~seed ~ops ~slots) in
   let all = splice inject base in
   let indexed = List.mapi (fun i a -> (i, a)) all in
-  match run ~verify ~oracle ~config ~slots all with
+  let run = run ~verify ~oracle ~mutators ~shard_domains ~config ~slots in
+  match run all with
   | Pass _ -> None
   | Fail first ->
-      let fails l =
-        match run ~verify ~oracle ~config ~slots l with
-        | Fail _ -> true
-        | Pass _ -> false
-      in
+      let fails l = match run l with Fail _ -> true | Pass _ -> false in
       let minimal = shrink ~budget:shrink_budget ~fails indexed in
       let actions = List.map snd minimal in
       let failure =
-        match run ~verify ~oracle ~config ~slots actions with
+        match run actions with
         | Fail f -> f
         | Pass _ -> first (* shrink raced the budget; keep the original *)
       in
       Some
         { seed; ops; slots; kept = List.map fst minimal; actions; failure }
 
-let replay ?(verify = true) ?(oracle = true) ~config (cex : counterexample) =
-  run ~verify ~oracle ~config ~slots:cex.slots cex.actions
+let replay ?(verify = true) ?(oracle = true) ?(mutators = 1)
+    ?(shard_domains = 0) ~config (cex : counterexample) =
+  run ~verify ~oracle ~mutators ~shard_domains ~config ~slots:cex.slots
+    cex.actions
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

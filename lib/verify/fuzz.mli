@@ -71,6 +71,8 @@ val generate : seed:int -> ops:int -> slots:int -> action array
 val run :
   ?verify:bool ->
   ?oracle:bool ->
+  ?mutators:int ->
+  ?shard_domains:int ->
   config:Config.t ->
   slots:int ->
   action list ->
@@ -80,7 +82,13 @@ val run :
     whole run; a {!Invariants.Violation}, mirror mismatch, or any other
     exception becomes [Fail] attributed to the in-flight action.  A final
     full-graph validation, {!Hcsgc_runtime.Vm.finish} and a last invariant
-    sweep run after the list is exhausted. *)
+    sweep run after the list is exhausted.
+    [mutators] (default 1) deals the actions round-robin over that many VM
+    mutator threads (action [i] runs on thread [i mod mutators]) — the
+    logical sequence is unchanged, but clocks, allocation targets and cache
+    traffic spread across cores.  [shard_domains] (default 0) selects the
+    VM execution model ({!Hcsgc_runtime.Vm.create}); outcomes are identical
+    at any [shard_domains >= 1]. *)
 
 val shrink :
   ?budget:int ->
@@ -94,6 +102,8 @@ val shrink :
 val check_seed :
   ?verify:bool ->
   ?oracle:bool ->
+  ?mutators:int ->
+  ?shard_domains:int ->
   ?shrink_budget:int ->
   ?inject:(int * action) list ->
   config:Config.t ->
@@ -106,9 +116,11 @@ val check_seed :
     actions (position, action) into the generated sequence before running
     (the hook for seeded-corruption tests).  [None] means the seed passed. *)
 
-val replay : ?verify:bool -> ?oracle:bool ->
-  config:Config.t -> counterexample -> outcome
-(** Re-run a counterexample's minimal action list. *)
+val replay : ?verify:bool -> ?oracle:bool -> ?mutators:int ->
+  ?shard_domains:int -> config:Config.t -> counterexample -> outcome
+(** Re-run a counterexample's minimal action list (under the same
+    [mutators]/[shard_domains] as the original run, or the failure may not
+    reproduce). *)
 
 val pp_action : Format.formatter -> action -> unit
 val pp_failure : Format.formatter -> failure -> unit

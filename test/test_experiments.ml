@@ -118,7 +118,7 @@ let graph_experiment_slice () =
   (* A miniature CC figure: only configs 0 and 4, one run, tiny dataset. *)
   let exp =
     Fig_graph.cc_experiment ~dataset:(Dataset.scaled Dataset.uk_cc ~factor:64)
-      ~scale:1
+      ~scale:1 ()
   in
   let results = Runner.run_configs ~config_ids:[ 0; 4 ] ~runs:1 exp in
   List.iter

@@ -1,0 +1,248 @@
+(* Tests for epoch-sharded execution: the determinism contract (byte-equal
+   simulated metrics at any shard-domain count, on every workload family),
+   trace determinism, verifier transparency, multi-mutator fuzzing on the
+   sharded engine, and the Vm.create argument validation around it.
+
+   "Unsharded" here means [--shard-domains 1]: still the epoch execution
+   model, but with zero worker domains — the reference every parallel count
+   must match byte for byte.  (The legacy inline model, [shard_domains = 0],
+   is a different interleaving by design and is covered by the existing
+   golden tests.) *)
+
+module Vm = Hcsgc_runtime.Vm
+module Config = Hcsgc_core.Config
+module Layout = Hcsgc_heap.Layout
+module Runner = Hcsgc_experiments.Runner
+module Fig_synthetic = Hcsgc_experiments.Fig_synthetic
+module Fig_dacapo = Hcsgc_experiments.Fig_dacapo
+module Scaled_machine = Hcsgc_experiments.Scaled_machine
+module Specjbb = Hcsgc_workloads.Specjbb_sim
+module Lru = Hcsgc_workloads.Lru_sim
+module Multi = Hcsgc_workloads.Multi_synthetic
+module Chrome_trace = Hcsgc_telemetry.Chrome_trace
+module Fuzz = Hcsgc_fuzz.Fuzz
+
+let check = Alcotest.check
+let case = Alcotest.test_case
+
+let layout = Layout.scaled ~small_page:(16 * 1024)
+
+(* Every simulated metric the runner aggregates, in canonical string form:
+   wall cycles, GC stats, cache/TLB counters, heap samples, ... *)
+let metrics vm = Runner.metrics_to_string (Runner.collect vm)
+
+let run_experiment (exp : Runner.experiment) =
+  let vm = exp.Runner.make_vm (Config.of_id 18) in
+  exp.Runner.workload vm ~run:0;
+  Vm.finish vm;
+  metrics vm
+
+(* Assert a workload fingerprint is byte-identical at shard counts 1 and 4. *)
+let identical name mk =
+  check Alcotest.string (name ^ ": shard 4 = shard 1") (mk 1) (mk 4)
+
+(* ------------------------------------------------------------------ *)
+(* Byte-equality across the five workload families                     *)
+(* ------------------------------------------------------------------ *)
+
+let synthetic_identical () =
+  identical "synthetic" (fun sd ->
+      run_experiment (Fig_synthetic.experiment ~shard_domains:sd ~scale:50 ()))
+
+let h2_identical () =
+  identical "h2" (fun sd ->
+      run_experiment (Fig_dacapo.h2_experiment ~shard_domains:sd ~scale:16 ()))
+
+let tradebeans_identical () =
+  identical "tradebeans" (fun sd ->
+      run_experiment
+        (Fig_dacapo.tradebeans_experiment ~shard_domains:sd ~scale:16 ()))
+
+let specjbb_identical () =
+  (* The only paper workload with several logical mutators (handlers = 2),
+     so shard 4 actually replays on parallel domains here. *)
+  let params =
+    {
+      Specjbb.default with
+      Specjbb.warehouses = 2;
+      items_per_warehouse = 200;
+      ramp_steps = 4;
+      txns_per_step = 50;
+    }
+  in
+  identical "specjbb" (fun sd ->
+      let vm =
+        Vm.create
+          ~layout:(Layout.scaled ~small_page:(64 * 1024))
+          ~machine_config:Scaled_machine.config
+          ~mutators:params.Specjbb.handlers ~shard_domains:sd
+          ~config:(Config.of_id 18)
+          ~max_heap:(24 * 1024 * 1024)
+          ()
+      in
+      let r = Specjbb.run vm params in
+      Vm.finish vm;
+      Printf.sprintf "%s|%.6f|%.6f|%.6f" (metrics vm) r.Specjbb.max_jops
+        r.Specjbb.critical_jops r.Specjbb.mean_latency)
+
+let lru_identical () =
+  let params =
+    {
+      Lru.default with
+      Lru.capacity = 200;
+      buckets = 64;
+      operations = 8_000;
+      key_space = 1_000;
+      hot_keys = 100;
+    }
+  in
+  identical "lru" (fun sd ->
+      let vm =
+        Vm.create ~layout ~shard_domains:sd ~config:(Config.of_id 18)
+          ~max_heap:(8 * 1024 * 1024) ()
+      in
+      let r = Lru.run vm params in
+      Vm.finish vm;
+      Printf.sprintf "%s|%d" (metrics vm) r.Lru.checksum)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-mutator stress: full shard-count ladder + workload checksums   *)
+(* ------------------------------------------------------------------ *)
+
+let multi_params =
+  {
+    Multi.default with
+    Multi.mutators = 4;
+    elements_per_mutator = 800;
+    rounds = 10;
+    accesses_per_round = 1_000;
+  }
+
+let run_multi ?verify sd =
+  let vm =
+    Vm.create ~layout ?verify ~mutators:multi_params.Multi.mutators
+      ~shard_domains:sd ~config:(Config.of_id 18)
+      ~max_heap:(16 * 1024 * 1024) ()
+  in
+  let r = Multi.run vm multi_params in
+  Vm.finish vm;
+  metrics vm ^ "|"
+  ^ String.concat ","
+      (List.map string_of_int (Array.to_list r.Multi.checksums))
+
+let multi_synthetic_ladder () =
+  (* shard counts both below, equal to and above the mutator count *)
+  let base = run_multi 1 in
+  List.iter
+    (fun sd ->
+      check Alcotest.string
+        (Printf.sprintf "multi_synthetic: shard %d = shard 1" sd)
+        base (run_multi sd))
+    [ 2; 3; 4; 8 ]
+
+let verifier_transparent_under_sharding () =
+  (* HCSGC_VERIFY must not perturb sharded metrics: the verification mirror
+     observes the heap, it never touches the memory hierarchy. *)
+  check Alcotest.string "verify:true = verify:false at shard 4"
+    (run_multi ~verify:false 4)
+    (run_multi ~verify:true 4)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: Chrome-trace byte determinism                            *)
+(* ------------------------------------------------------------------ *)
+
+let chrome_trace_identical () =
+  let trace sd =
+    let vm =
+      Vm.create ~layout ~mutators:multi_params.Multi.mutators
+        ~shard_domains:sd ~config:(Config.of_id 18)
+        ~max_heap:(16 * 1024 * 1024) ()
+    in
+    let recorder = Vm.enable_telemetry ~sample_interval:50_000 vm in
+    ignore (Multi.run vm multi_params);
+    Vm.finish vm;
+    Chrome_trace.to_string recorder
+  in
+  check Alcotest.string "chrome trace: shard 4 = shard 1" (trace 1) (trace 4)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: random heap-op sequences on the sharded engine                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_sharded_multi_mutator () =
+  (* check_seed keeps verify (mirror + invariant sweeps) and the mark-sweep
+     oracle on by default — the sharded engine must survive both. *)
+  List.iter
+    (fun seed ->
+      match
+        Fuzz.check_seed ~mutators:3 ~shard_domains:4
+          ~config:(Config.of_id 18) ~slots:24 ~ops:1_200 ~seed ()
+      with
+      | None -> ()
+      | Some cex ->
+          Alcotest.failf "sharded seed %d failed:@.%a" seed
+            Fuzz.pp_counterexample cex)
+    [ 1; 2; 3 ]
+
+let fuzz_outcome_matches_across_counts () =
+  let actions =
+    Array.to_list (Fuzz.generate ~seed:11 ~ops:1_000 ~slots:20)
+  in
+  let outcome sd =
+    Fuzz.run ~mutators:3 ~shard_domains:sd ~config:(Config.of_id 18)
+      ~slots:20 actions
+  in
+  match (outcome 1, outcome 4) with
+  | Fuzz.Pass { gc_cycles = a }, Fuzz.Pass { gc_cycles = b } ->
+      check Alcotest.int "gc cycles: shard 4 = shard 1" a b
+  | _ -> Alcotest.fail "expected Pass at both shard counts"
+
+(* ------------------------------------------------------------------ *)
+(* Vm.create validation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let create_validation () =
+  Alcotest.check_raises "negative shard_domains"
+    (Invalid_argument "Vm.create: shard_domains must be non-negative")
+    (fun () ->
+      ignore
+        (Vm.create ~layout ~shard_domains:(-1) ~config:Config.zgc
+           ~max_heap:(1024 * 1024) ()));
+  Alcotest.check_raises "saturated + sharded"
+    (Invalid_argument
+       "Vm.create: sharded execution is incompatible with saturated mode")
+    (fun () ->
+      ignore
+        (Vm.create ~layout ~saturated:true ~shard_domains:2
+           ~config:Config.zgc ~max_heap:(1024 * 1024) ()));
+  let vm =
+    Vm.create ~layout ~shard_domains:3 ~config:Config.zgc
+      ~max_heap:(1024 * 1024) ()
+  in
+  check Alcotest.int "shard_domains accessor" 3 (Vm.shard_domains vm);
+  Vm.finish vm;
+  let vm0 = Vm.create ~layout ~config:Config.zgc ~max_heap:(1024 * 1024) () in
+  check Alcotest.int "default is inline model" 0 (Vm.shard_domains vm0);
+  Vm.finish vm0
+
+let suite =
+  [
+    ( "shard.determinism",
+      [
+        case "synthetic byte-identical" `Quick synthetic_identical;
+        case "h2 byte-identical" `Quick h2_identical;
+        case "tradebeans byte-identical" `Quick tradebeans_identical;
+        case "specjbb byte-identical" `Quick specjbb_identical;
+        case "lru byte-identical" `Quick lru_identical;
+        case "multi-mutator shard ladder" `Quick multi_synthetic_ladder;
+        case "chrome trace byte-identical" `Quick chrome_trace_identical;
+      ] );
+    ( "shard.verify",
+      [
+        case "verifier transparent" `Quick verifier_transparent_under_sharding;
+        case "fuzz multi-mutator sharded" `Slow fuzz_sharded_multi_mutator;
+        case "fuzz outcome across counts" `Quick
+          fuzz_outcome_matches_across_counts;
+      ] );
+    ("shard.create", [ case "argument validation" `Quick create_validation ]);
+  ]
