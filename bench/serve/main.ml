@@ -1,0 +1,159 @@
+(* bench/serve: the KV serving tier under shard counts.
+
+   Runs the default serving workload (hotness config 18) once per shard
+   count, asserts every run's SLO report, latency histogram, checksum and
+   run metrics are byte-identical (the determinism contract, checked even
+   while benchmarking), and reports host wall-clock seconds plus the
+   simulated tail percentiles.
+
+   Usage:
+     dune exec bench/serve/main.exe --                     # default sizes
+     dune exec bench/serve/main.exe -- --quick             # CI smoke sizes
+     dune exec bench/serve/main.exe -- --out BENCH_serve.json *)
+
+module Vm = Hcsgc_runtime.Vm
+module Config = Hcsgc_core.Config
+module Layout = Hcsgc_heap.Layout
+module Serve = Hcsgc_serve.Serve
+module Slo = Hcsgc_serve.Slo
+module Analyzer = Hcsgc_telemetry.Analyzer
+module Runner = Hcsgc_experiments.Runner
+
+let layout = Layout.scaled ~small_page:(64 * 1024)
+let slo = 5 * Slo.cycles_per_us
+let params ~scale = Hcsgc_experiments.Fig_serve.scaled_params ~scale
+
+let run_once ~shard_domains ~scale =
+  let p = params ~scale in
+  let vm =
+    Vm.create ~layout
+      ~machine_config:Hcsgc_experiments.Scaled_machine.config
+      ~mutators:p.Serve.mutators ~shard_domains ~trigger:0.10
+      ~config:(Config.of_id 18)
+      ~max_heap:(Hcsgc_experiments.Fig_serve.scaled_heap ~scale)
+      ()
+  in
+  let recorder = Vm.enable_telemetry vm in
+  let t0 = Unix.gettimeofday () in
+  let r = Serve.run vm p in
+  Vm.finish vm;
+  let dt = Unix.gettimeofday () -. t0 in
+  let report =
+    Slo.analyze ~slo ~duration:p.Serve.duration
+      ~pauses:(Analyzer.pause_intervals recorder)
+      r
+  in
+  let fingerprint =
+    Slo.to_line report ^ "|"
+    ^ Slo.histogram_to_string (Slo.histogram r.Serve.requests)
+    ^ "|" ^ string_of_int r.Serve.checksum ^ "|"
+    ^ Runner.metrics_to_string (Runner.collect vm)
+  in
+  (dt, report, fingerprint)
+
+type sample = { domains : int; seconds : float; speedup : float }
+
+let json_of ~label ~scale ~host_domains ~(report : Slo.report) samples =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"benchmark\": %S,\n" "bench/serve");
+  Buffer.add_string b (Printf.sprintf "  \"label\": %S,\n" label);
+  Buffer.add_string b (Printf.sprintf "  \"ocaml\": %S,\n" Sys.ocaml_version);
+  Buffer.add_string b
+    (Printf.sprintf "  \"host_recommended_domains\": %d,\n" host_domains);
+  Buffer.add_string b (Printf.sprintf "  \"scale\": %d,\n" scale);
+  Buffer.add_string b
+    (Printf.sprintf "  \"requests\": %d,\n" report.Slo.requests);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"latency_cycles\": { \"p50\": %d, \"p99\": %d, \"p999\": %d, \
+        \"max\": %d },\n"
+       report.Slo.p50 report.Slo.p99 report.Slo.p999 report.Slo.max_latency);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"slo\": { \"cycles\": %d, \"violations\": %d, \
+        \"pause_attributed\": %d, \"service_attributed\": %d },\n"
+       report.Slo.slo report.Slo.violations report.Slo.pause_attributed
+       report.Slo.service_attributed);
+  Buffer.add_string b "  \"deterministic\": true,\n";
+  Buffer.add_string b "  \"samples\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"shard_domains\": %d, \"seconds\": %.3f, \"speedup\": \
+            %.2f }%s\n"
+           s.domains s.seconds s.speedup
+           (if i = List.length samples - 1 then "" else ",")))
+    samples;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let () =
+  let scale = ref 1 in
+  let max_domains = ref 4 in
+  let out = ref None in
+  let label = ref "current" in
+  let spec =
+    [
+      ("--scale", Arg.Set_int scale, "K divide workload size (default 1)");
+      ("--quick", Arg.Unit (fun () -> scale := 8), " CI smoke sizes");
+      ( "--max-domains",
+        Arg.Set_int max_domains,
+        "N largest shard count measured (default 4)" );
+      ("--out", Arg.String (fun s -> out := Some s), "FILE write JSON here");
+      ("--label", Arg.Set_string label, "S label stored in the JSON output");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench/serve/main.exe -- serving-tier determinism and scaling";
+  let counts =
+    let rec up n = if n > !max_domains then [] else n :: up (2 * n) in
+    up 1
+  in
+  let host_domains = Domain.recommended_domain_count () in
+  Printf.printf
+    "serve scaling: scale /%d, shard counts %s, host recommends %d domain(s)\n%!"
+    !scale
+    (String.concat "," (List.map string_of_int counts))
+    host_domains;
+  let baseline = ref None in
+  let last_report = ref None in
+  let samples =
+    List.map
+      (fun domains ->
+        let seconds, report, fp = run_once ~shard_domains:domains ~scale:!scale in
+        last_report := Some report;
+        (match !baseline with
+        | None -> baseline := Some (seconds, fp)
+        | Some (_, fp1) ->
+            if fp <> fp1 then (
+              Printf.eprintf
+                "FATAL: --shard-domains %d diverged from --shard-domains %d\n%!"
+                domains (List.hd counts);
+              exit 1));
+        let speedup =
+          match !baseline with
+          | Some (s1, _) when seconds > 0.0 -> s1 /. seconds
+          | _ -> 1.0
+        in
+        Printf.printf "  shard-domains %d: %6.3f s  (speedup %.2fx)\n%!"
+          domains seconds speedup;
+        { domains; seconds; speedup })
+      counts
+  in
+  let report = Option.get !last_report in
+  Printf.printf
+    "all shard counts byte-identical; %d requests, p99.9=%dc, %d violations \
+     (%d pause-attributed)\n%!"
+    report.Slo.requests report.Slo.p999 report.Slo.violations
+    report.Slo.pause_attributed;
+  match !out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc
+        (json_of ~label:!label ~scale:!scale ~host_domains ~report samples);
+      close_out oc;
+      Printf.printf "wrote %s\n%!" file

@@ -410,6 +410,142 @@ let lru_cmd =
     Term.(const run $ config_id $ gc_log_flag $ seed $ verify_flag)
 
 (* ------------------------------------------------------------------ *)
+(* serve: the KV serving tier with SLO accounting                      *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let module Serve = Hcsgc_serve.Serve in
+  let module Slo = Hcsgc_serve.Slo in
+  let module Arrival = Hcsgc_serve.Arrival in
+  let module Keydist = Hcsgc_workloads.Keydist in
+  let d = Serve.default in
+  let keys =
+    Arg.(value & opt int d.Serve.keys & info [ "keys" ] ~docv:"N"
+           ~doc:"Distinct keys in the store (all prepopulated).")
+  in
+  let value_words =
+    Arg.(value & opt int d.Serve.value_words & info [ "value-words" ]
+           ~docv:"W" ~doc:"Payload words per entry.")
+  in
+  let mutators =
+    Arg.(value & opt int d.Serve.mutators & info [ "mutators" ] ~docv:"N"
+           ~doc:"Serving threads; keys are sharded across them by key mod N.")
+  in
+  let dist =
+    Arg.(value & opt string "zipf:0.99" & info [ "dist" ] ~docv:"SPEC"
+           ~doc:"Key distribution: uniform, hotset:HOT,BIAS, zipf[:THETA], \
+                 seq[:STRIDE].")
+  in
+  let mix =
+    Arg.(value & opt string "60,35,5" & info [ "mix" ] ~docv:"G,U,S"
+           ~doc:"Request mix as get,update,scan percentages (sum 100).")
+  in
+  let scan_len =
+    Arg.(value & opt int d.Serve.mix.Serve.scan_len & info [ "scan-len" ]
+           ~docv:"L" ~doc:"Consecutive slots read per scan request.")
+  in
+  let arrivals =
+    Arg.(value & opt string "constant" & info [ "arrivals" ] ~docv:"PROC"
+           ~doc:"Arrival process: constant, diurnal[:TROUGH], \
+                 bursty[:PERIOD,BURST,MULT].")
+  in
+  let load =
+    Arg.(value & opt float d.Serve.load & info [ "load" ] ~docv:"R"
+           ~doc:"Offered load in requests per megacycle (open loop).")
+  in
+  let duration =
+    Arg.(value & opt int (d.Serve.duration / 1_000_000) & info [ "duration" ]
+           ~docv:"MC" ~doc:"Arrival window in megacycles.")
+  in
+  let slo_us =
+    Arg.(value & opt int 5 & info [ "slo-us" ] ~docv:"US"
+           ~doc:"Latency SLO in microseconds (at 3 GHz); 0 disables \
+                 violation accounting.")
+  in
+  let heap_mb =
+    Arg.(value & opt int 8 & info [ "heap-mb" ] ~docv:"MB"
+           ~doc:"Max heap in MiB.")
+  in
+  let run config_id keys value_words mutators dist mix scan_len arrivals load
+      duration slo_us heap_mb seed shard_domains trace_out trace_sample
+      verify =
+    let fail fmt_str = Format.kasprintf (fun m -> Format.eprintf "%s@." m; exit 2) fmt_str in
+    let dist =
+      match Keydist.spec_of_string dist with
+      | Ok s -> s
+      | Error e -> fail "%s" e
+    in
+    let process =
+      match Arrival.process_of_string arrivals with
+      | Ok p -> p
+      | Error e -> fail "%s" e
+    in
+    let gets, updates, scans =
+      match String.split_on_char ',' mix |> List.map int_of_string_opt with
+      | [ Some g; Some u; Some s ] -> (g, u, s)
+      | _ -> fail "bad --mix %S (expected G,U,S percentages)" mix
+    in
+    let p =
+      {
+        Serve.keys;
+        value_words;
+        mutators;
+        dist;
+        mix = { Serve.gets; updates; scans; scan_len };
+        process;
+        load;
+        duration = duration * 1_000_000;
+        seed;
+      }
+    in
+    let config = Config.of_id config_id in
+    Format.fprintf fmt "serve under config %d (%s)%s%s@." config_id
+      (Config.to_string config)
+      (if shard_domains > 0 then
+         Printf.sprintf " [sharded x%d]" shard_domains
+       else "")
+      (if verify then " [verified]" else "");
+    let vm =
+      Vm.create
+        ~layout:(Layout.scaled ~small_page:(64 * 1024))
+        ~machine_config:E.Scaled_machine.config ~mutators ~shard_domains
+        ~trigger:0.10 ~config
+        ~max_heap:(heap_mb * 1024 * 1024)
+        ()
+    in
+    if verify then Vm.enable_verification vm;
+    (* Telemetry is always on here: pause intervals feed the SLO
+       attribution (and it charges no simulated cycles). *)
+    let recorder = Vm.enable_telemetry ~sample_interval:trace_sample vm in
+    let r = Serve.run vm p in
+    Vm.finish vm;
+    let report =
+      Slo.analyze
+        ~slo:(slo_us * Slo.cycles_per_us)
+        ~duration:p.Serve.duration
+        ~pauses:(Hcsgc_telemetry.Analyzer.pause_intervals recorder)
+        r
+    in
+    Format.fprintf fmt "%a@." Slo.pp report;
+    Format.fprintf fmt "%a@." Slo.pp_histogram (Slo.histogram r.Serve.requests);
+    Format.fprintf fmt "checksum: %d@.@." r.Serve.checksum;
+    report_single vm;
+    match trace_out with
+    | Some path -> emit_artifacts ~trace_out:path recorder
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Simulated KV-store serving tier: open-loop arrivals, sharded \
+          serving threads, tail-latency SLO accounting with GC-pause \
+          attribution")
+    Term.(
+      const run $ config_id $ keys $ value_words $ mutators $ dist $ mix
+      $ scan_len $ arrivals $ load $ duration $ slo_us $ heap_mb $ seed
+      $ shard_domains $ trace_out $ trace_sample $ verify_flag)
+
+(* ------------------------------------------------------------------ *)
 (* profile: one (experiment, config) pair with full telemetry          *)
 (* ------------------------------------------------------------------ *)
 
@@ -567,7 +703,7 @@ let figure_cmd =
   let which =
     Arg.(required
         & pos 0 (some string) None
-        & info [] ~docv:"FIG" ~doc:"t1 t2 t3 f4..f13")
+        & info [] ~docv:"FIG" ~doc:"t1 t2 t3 f4..f13 fserve")
   in
   let run which runs jobs scale shard_domains cache_dir no_cache refresh =
     let cache = cache_of ~no_cache ~refresh ~cache_dir in
@@ -590,6 +726,8 @@ let figure_cmd =
     | "f11" -> E.Fig_dacapo.fig11 ~runs ~jobs ~scale ~shard_domains:sd ?cache fmt
     | "f12" -> E.Fig_dacapo.fig12 ~runs ~jobs ~scale ~shard_domains:sd ?cache fmt
     | "f13" -> E.Fig_specjbb.fig13 ~runs ~jobs ~scale ~shard_domains:sd fmt
+    | "fserve" ->
+        E.Fig_serve.figure ~runs ~jobs ~scale ~shard_domains:sd ?cache fmt
     | other -> Format.eprintf "unknown figure: %s@." other);
     Option.iter
       (fun c -> Format.eprintf "[figure] %s@." (store_line c.E.Runner.store))
@@ -615,4 +753,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ synthetic_cmd; graph_cmd; h2_cmd; tradebeans_cmd; specjbb_cmd;
-            lru_cmd; profile_cmd; fuzz_cmd; figure_cmd ]))
+            lru_cmd; serve_cmd; profile_cmd; fuzz_cmd; figure_cmd ]))

@@ -75,6 +75,8 @@ let config_fingerprint_key config_id =
     c.Config.cold_confidence c.Config.relocate_all_small_pages
     c.Config.lazy_relocate
 
+let config_key = config_fingerprint_key
+
 let fingerprint ~verify job =
   Fingerprint.make ~experiment:job.exp.key
     ~config:(config_fingerprint_key job.config_id)

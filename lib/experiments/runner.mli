@@ -87,6 +87,13 @@ val cache : ?refresh:bool -> dir:string -> unit -> cache
 val default_cache_dir : string
 (** ["_hcsgc_cache"] — the CLIs' default store location. *)
 
+val config_key : int -> string
+(** Lossless rendering of a Table 2 configuration's knob {e values} (not
+    its id — ids 0 and 1 share a knob vector, hence a key), the
+    [~config] component of every job fingerprint.  Exposed for
+    experiments that store custom payloads (e.g. the serving tier's SLO
+    reports) under the same addressing scheme. *)
+
 val fingerprint : verify:bool -> job -> Hcsgc_store.Fingerprint.t
 (** The job's content address.  Configuration knobs enter the fingerprint
     by {e value}, not by Table 2 id, so ids 0 and 1 (identical knob

@@ -1,0 +1,108 @@
+module Rng = Hcsgc_util.Rng
+
+type process =
+  | Constant
+  | Diurnal of { trough : float }
+  | Bursty of { period : int; burst : int; mult : float }
+
+type t = {
+  process : process;
+  rate : float;  (* requests per megacycle *)
+  duration : int;
+  rng : Rng.t;
+  mutable clock : float;  (* next-arrival candidate, fractional cycles *)
+  mutable exhausted : bool;
+}
+
+let validate process ~rate ~duration =
+  if rate <= 0.0 then invalid_arg "Arrival.create: rate must be positive";
+  if duration <= 0 then invalid_arg "Arrival.create: duration must be positive";
+  match process with
+  | Constant -> ()
+  | Diurnal { trough } ->
+      if trough <= 0.0 || trough > 1.0 then
+        invalid_arg "Arrival.create: diurnal trough outside (0, 1]"
+  | Bursty { period; burst; mult } ->
+      if period <= 0 then invalid_arg "Arrival.create: bursty period <= 0";
+      if burst < 0 || burst > period then
+        invalid_arg "Arrival.create: bursty burst outside [0, period]";
+      if mult <= 0.0 then invalid_arg "Arrival.create: bursty mult <= 0"
+
+let create process ~rate ~duration ~seed =
+  validate process ~rate ~duration;
+  {
+    process;
+    rate;
+    duration;
+    rng = Rng.create seed;
+    clock = 0.0;
+    exhausted = false;
+  }
+
+(* Instantaneous rate at wall time [at], in requests per megacycle.  A
+   non-homogeneous Poisson process approximated by sampling each gap at
+   the rate in force when the gap starts — exact for Constant, and for
+   the others accurate to one inter-arrival time, which is far below the
+   modulation period. *)
+let rate_at t at =
+  match t.process with
+  | Constant -> t.rate
+  | Diurnal { trough } ->
+      let phase = Float.pi *. float_of_int at /. float_of_int t.duration in
+      t.rate *. (trough +. ((1.0 -. trough) *. sin phase))
+  | Bursty { period; burst; mult } ->
+      if at mod period < burst then t.rate *. mult else t.rate
+
+let next t =
+  if t.exhausted then None
+  else begin
+    let at = int_of_float t.clock in
+    let mean = 1e6 /. rate_at t (min at (t.duration - 1)) in
+    t.clock <- t.clock +. Rng.exponential t.rng mean;
+    let arrival = int_of_float t.clock in
+    if arrival >= t.duration then begin
+      t.exhausted <- true;
+      None
+    end
+    else Some arrival
+  end
+
+let process_key = function
+  | Constant -> "constant"
+  | Diurnal { trough } -> Printf.sprintf "diurnal(%h)" trough
+  | Bursty { period; burst; mult } ->
+      Printf.sprintf "bursty(%d,%d,%h)" period burst mult
+
+let process_of_string s =
+  let invalid () = Error (Printf.sprintf "bad arrival process %S" s) in
+  match String.index_opt s ':' with
+  | None -> (
+      match s with
+      | "constant" -> Ok Constant
+      | "diurnal" -> Ok (Diurnal { trough = 0.25 })
+      | "bursty" ->
+          Ok (Bursty { period = 1_000_000; burst = 100_000; mult = 4.0 })
+      | _ -> invalid ())
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "diurnal" -> (
+          match float_of_string_opt rest with
+          | Some trough when trough > 0.0 && trough <= 1.0 ->
+              Ok (Diurnal { trough })
+          | _ -> invalid ())
+      | "bursty" -> (
+          match String.split_on_char ',' rest with
+          | [ a; b; c ] -> (
+              match
+                (int_of_string_opt a, int_of_string_opt b,
+                 float_of_string_opt c)
+              with
+              | Some period, Some burst, Some mult
+                when period > 0 && burst >= 0 && burst <= period && mult > 0.0
+                ->
+                  Ok (Bursty { period; burst; mult })
+              | _ -> invalid ())
+          | _ -> invalid ())
+      | _ -> invalid ())

@@ -1,0 +1,43 @@
+(** Deterministic open-loop arrival processes on the simulated clock.
+
+    A serving-tier run replays measured service times against an arrival
+    timeline that does not depend on how fast requests complete — the
+    open-loop (coordinated-omission-free) methodology: a slow request does
+    not delay the generation of the next one, so queueing delay behind GC
+    pauses is measured instead of silently omitted.
+
+    Arrivals are a Poisson process whose rate is modulated over the run:
+    constant, a diurnal ramp (sine from trough to peak and back), or
+    periodic bursts.  All randomness comes from one {!Hcsgc_util.Rng}
+    stream seeded explicitly, so the timeline is a pure function of
+    [(process, rate, duration, seed)]. *)
+
+type process =
+  | Constant
+  | Diurnal of { trough : float }
+      (** rate multiplier at the run's edges, in (0, 1]; the rate follows
+          [trough + (1 - trough) * sin(pi * t / duration)], peaking at the
+          nominal rate mid-run *)
+  | Bursty of { period : int; burst : int; mult : float }
+      (** every [period] cycles, the first [burst] cycles run at
+          [mult * rate]; the remainder at the nominal rate *)
+
+type t
+
+val create : process -> rate:float -> duration:int -> seed:int -> t
+(** [rate] is nominal requests per megacycle; arrivals are generated for
+    simulated wall times in [\[0, duration)].
+    @raise Invalid_argument on non-positive [rate] or [duration], a
+    [Diurnal] trough outside (0, 1], or a [Bursty] with non-positive
+    [period]/[mult] or [burst] outside [\[0, period\]]. *)
+
+val next : t -> int option
+(** The next arrival's simulated wall cycle (non-decreasing), or [None]
+    once the timeline passes [duration]. *)
+
+val process_key : process -> string
+(** Stable rendering for content-address keys (floats in hex). *)
+
+val process_of_string : string -> (process, string) result
+(** Parse a CLI spelling: ["constant"], ["diurnal"] / ["diurnal:TROUGH"],
+    ["bursty"] / ["bursty:PERIOD,BURST,MULT"]. *)

@@ -4,6 +4,7 @@ type pause_stats = {
   p50 : int;
   p95 : int;
   p99 : int;
+  p999 : int;
   max : int;
 }
 
@@ -14,7 +15,10 @@ let percentile xs ~pct =
   let arr = Array.of_list xs in
   Array.sort compare arr;
   let n = Array.length arr in
-  let rank = int_of_float (ceil (pct /. 100.0 *. float_of_int n)) in
+  (* Nearest rank ⌈pct/100 × n⌉, nudged below the float division's upward
+     rounding so an exactly-integral rank (99.9% of 1000 = 999) is not
+     bumped to the next sample. *)
+  let rank = int_of_float (ceil ((pct /. 100.0 *. float_of_int n) -. 1e-9)) in
   arr.(max 0 (min (n - 1) (rank - 1)))
 
 let is_pause (s : Recorder.span) =
@@ -35,7 +39,7 @@ let pause_intervals r =
 
 let pause_stats r =
   match pause_durations r with
-  | [] -> { count = 0; total = 0; p50 = 0; p95 = 0; p99 = 0; max = 0 }
+  | [] -> { count = 0; total = 0; p50 = 0; p95 = 0; p99 = 0; p999 = 0; max = 0 }
   | ds ->
       {
         count = List.length ds;
@@ -43,6 +47,7 @@ let pause_stats r =
         p50 = percentile ds ~pct:50.0;
         p95 = percentile ds ~pct:95.0;
         p99 = percentile ds ~pct:99.0;
+        p999 = percentile ds ~pct:99.9;
         max = List.fold_left max 0 ds;
       }
 
@@ -56,6 +61,19 @@ let merge_intervals pauses =
     | [] -> []
   in
   go (List.sort compare (List.filter (fun (a, b) -> b > a) pauses))
+
+let coalesce = merge_intervals
+
+(* Overlap of one window with a set of intervals.  Coalescing first keeps
+   the sum honest when intervals overlap each other (simulated pauses can
+   share a wall stamp), so the result never exceeds the window width.
+   The SLO attribution calls this once per violating request with the
+   already-coalesced pause list, hence the [?coalesced] fast path. *)
+let overlap ?(coalesced = false) ~window:(w0, w1) intervals =
+  let intervals = if coalesced then intervals else merge_intervals intervals in
+  List.fold_left
+    (fun acc (a, b) -> acc + max 0 (min b w1 - max a w0))
+    0 intervals
 
 let mmu ~window ~total ~pauses =
   if window <= 0 then invalid_arg "Analyzer.mmu: window must be positive";

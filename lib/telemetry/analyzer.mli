@@ -13,6 +13,7 @@ type pause_stats = {
   p50 : int;
   p95 : int;
   p99 : int;
+  p999 : int;  (** the tail percentile the serving-tier SLOs report *)
   max : int;
 }
 
@@ -29,6 +30,21 @@ val pause_intervals : Recorder.t -> (int * int) list
 
 val pause_stats : Recorder.t -> pause_stats
 (** Zeroes when no pause was recorded. *)
+
+val coalesce : (int * int) list -> (int * int) list
+(** Sort [(start, stop)] intervals, drop empty ones, and merge overlapping
+    or touching neighbours — the normal form {!overlap} and {!mmu} reduce
+    to before summing. *)
+
+val overlap :
+  ?coalesced:bool -> window:int * int -> (int * int) list -> int
+(** [overlap ~window:(w0, w1) intervals] is the total length of
+    [\[w0, w1\]] covered by the intervals — the request-window ∩
+    pause-intervals helper behind pause-attributed SLO accounting.
+    Intervals are {!coalesce}d first (pass [~coalesced:true] when the
+    caller already did, e.g. once per request batch), so the result is in
+    [\[0, w1 - w0\]] even when inputs overlap each other.  An empty or
+    inverted window yields 0. *)
 
 val mmu : window:int -> total:int -> pauses:(int * int) list -> float
 (** Minimum mutator utilisation: the worst-case fraction of any

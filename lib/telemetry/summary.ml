@@ -43,8 +43,9 @@ let write fmt r =
     Format.fprintf fmt "count=%d total=%dc (%.2f%% of wall)@\n" ps.Analyzer.count
       ps.Analyzer.total
       (100.0 *. float_of_int ps.Analyzer.total /. float_of_int (max 1 wall));
-    Format.fprintf fmt "p50=%dc p95=%dc p99=%dc max=%dc@\n" ps.Analyzer.p50
-      ps.Analyzer.p95 ps.Analyzer.p99 ps.Analyzer.max;
+    Format.fprintf fmt "p50=%dc p95=%dc p99=%dc p99.9=%dc max=%dc@\n"
+      ps.Analyzer.p50 ps.Analyzer.p95 ps.Analyzer.p99 ps.Analyzer.p999
+      ps.Analyzer.max;
     Format.fprintf fmt "MMU:";
     List.iter
       (fun w ->

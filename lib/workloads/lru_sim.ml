@@ -49,6 +49,14 @@ let bucket_slot b = 2 + b
 let run vm p =
   if p.capacity <= 0 || p.buckets <= 0 then invalid_arg "Lru_sim.run: bad params";
   let rng = Rng.create p.seed in
+  (* The skewed request stream now comes from the shared generator; the
+     Hotset distribution consumes the RNG exactly as the old inline code
+     did, so results are pinned byte-identical by the regression tests. *)
+  let dist =
+    Keydist.create
+      (Keydist.Hotset { hot_keys = p.hot_keys; hot_bias = p.hot_bias })
+      ~key_space:p.key_space
+  in
   let root = Vm.alloc vm ~nrefs:(2 + p.buckets) ~nwords:1 in
   Vm.add_root vm root;
   let size = ref 0 in
@@ -126,11 +134,7 @@ let run vm p =
   in
   let gets = ref 0 and hits = ref 0 and puts = ref 0 and checksum = ref 0 in
   for _ = 1 to p.operations do
-    let key =
-      if Rng.float rng 1.0 < p.hot_bias then
-        Rng.int rng (max 1 p.hot_keys) * 31 mod p.key_space
-      else Rng.int rng p.key_space
-    in
+    let key = Keydist.sample dist rng in
     incr gets;
     match find key with
     | Some e ->

@@ -51,6 +51,9 @@ let run vm p =
   done;
   let checksums = Array.make p.mutators 0 in
   let accesses = ref 0 in
+  (* Uniform over each mutator's private array, via the shared generator
+     (one [Rng.int] per sample — byte-identical to the old inline draw). *)
+  let dist = Keydist.create Keydist.Uniform ~key_space:p.elements_per_mutator in
   (* Round-robin slices: thread m performs its whole slice of a round
      before thread m+1 — a deterministic cooperative interleaving, with
      each thread walking its own array in a private pseudo-random order. *)
@@ -61,7 +64,7 @@ let run vm p =
       | Some arr ->
           let rng = Rng.create (p.seed + (round * p.mutators) + m) in
           for j = 1 to p.accesses_per_round do
-            let idx = Rng.int rng p.elements_per_mutator in
+            let idx = Keydist.sample dist rng in
             (match Vm.load_ref ~m vm arr idx with
             | Some o ->
                 checksums.(m) <-

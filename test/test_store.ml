@@ -375,6 +375,56 @@ let cache_hit_across_shard_counts () =
         (Runner.metrics_to_string cold)
         (Runner.metrics_to_string fresh))
 
+(* ------------------------------------------------------------------ *)
+(* Serving-tier experiment keys                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Fig_serve = Hcsgc_experiments.Fig_serve
+module Serve = Hcsgc_serve.Serve
+module Arrival = Hcsgc_serve.Arrival
+module Keydist = Hcsgc_workloads.Keydist
+
+let serve_knobs_in_experiment_key () =
+  (* Every result-affecting serving knob must move the content address;
+     the run seed must not (repetitions are addressed via ~run), and the
+     shard count must only key the execution model (0 vs >= 1). *)
+  let p = Serve.default in
+  let key ?heap ?(params = p) ?(shard_domains = 1)
+      ?(slo = Fig_serve.default_slo) () =
+    Fig_serve.experiment_key ?heap ~params ~shard_domains ~slo ()
+  in
+  let base = key () in
+  let moved name k =
+    check Alcotest.bool ("distinct under " ^ name) false (String.equal base k)
+  in
+  moved "keys" (key ~params:{ p with Serve.keys = p.Serve.keys + 1 } ());
+  moved "value words"
+    (key ~params:{ p with Serve.value_words = p.Serve.value_words + 1 } ());
+  moved "mutators" (key ~params:{ p with Serve.mutators = p.Serve.mutators + 1 } ());
+  moved "key distribution"
+    (key ~params:{ p with Serve.dist = Keydist.Uniform } ());
+  moved "mix"
+    (key
+       ~params:
+         { p with Serve.mix = { p.Serve.mix with Serve.gets = p.Serve.mix.Serve.gets + 1; updates = p.Serve.mix.Serve.updates - 1 } }
+       ());
+  moved "scan length"
+    (key
+       ~params:
+         { p with Serve.mix = { p.Serve.mix with Serve.scan_len = p.Serve.mix.Serve.scan_len * 2 } }
+       ());
+  moved "arrival process"
+    (key ~params:{ p with Serve.process = Arrival.Diurnal { trough = 0.25 } } ());
+  moved "offered load" (key ~params:{ p with Serve.load = p.Serve.load *. 2.0 } ());
+  moved "duration"
+    (key ~params:{ p with Serve.duration = p.Serve.duration + 1 } ());
+  moved "slo threshold" (key ~slo:(Fig_serve.default_slo + 1) ());
+  moved "heap budget" (key ~heap:(4 * 1024 * 1024) ());
+  moved "execution model" (key ~shard_domains:0 ());
+  check Alcotest.string "seed normalised out" base
+    (key ~params:{ p with Serve.seed = 17 } ());
+  check Alcotest.string "shard width not addressed" base (key ~shard_domains:4 ())
+
 let suite =
   [
     ( "store.fingerprint",
@@ -411,6 +461,8 @@ let suite =
           shard_count_not_in_fingerprint;
         case "cache hit across shard counts" `Quick
           cache_hit_across_shard_counts;
+        case "serve knobs in experiment key" `Quick
+          serve_knobs_in_experiment_key;
       ] );
     ( "store.sweep",
       [

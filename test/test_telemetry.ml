@@ -306,6 +306,46 @@ let percentile_fixtures () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* Nearest-rank p99.9: rank = ceil(99.9/100 * n), so every sample short of
+   1000 yields the maximum, and exactly at n = 10000 the rank drops to
+   9990 — the boundary the serving-tier SLO report sits on. *)
+let p999_fixtures () =
+  check Alcotest.int "p99.9 of 5 samples = max" 50
+    (Analyzer.percentile [ 10; 20; 30; 40; 50 ] ~pct:99.9);
+  check Alcotest.int "p99.9 of 999 = max" 999
+    (Analyzer.percentile (List.init 999 (fun i -> i + 1)) ~pct:99.9);
+  check Alcotest.int "p99.9 of 1000 = rank 999" 999
+    (Analyzer.percentile (List.init 1_000 (fun i -> i + 1)) ~pct:99.9);
+  check Alcotest.int "p99.9 of 10000 = rank 9990" 9_990
+    (Analyzer.percentile (List.init 10_000 (fun i -> i + 1)) ~pct:99.9);
+  check Alcotest.int "p99.9 order-independent" 9_990
+    (Analyzer.percentile (List.init 10_000 (fun i -> 10_000 - i)) ~pct:99.9)
+
+let overlap_fixtures () =
+  let ov ?coalesced window intervals =
+    Analyzer.overlap ?coalesced ~window intervals
+  in
+  check Alcotest.int "disjoint" 0 (ov (0, 10) [ (20, 30) ]);
+  check Alcotest.int "touching edges do not overlap" 0 (ov (0, 10) [ (10, 20) ]);
+  check Alcotest.int "interval inside window" 5 (ov (0, 100) [ (10, 15) ]);
+  check Alcotest.int "window inside interval" 10 (ov (20, 30) [ (0, 100) ]);
+  check Alcotest.int "partial left" 5 (ov (0, 15) [ (10, 30) ]);
+  check Alcotest.int "partial right" 5 (ov (25, 40) [ (10, 30) ]);
+  check Alcotest.int "several intervals sum" 15
+    (ov (0, 100) [ (10, 15); (20, 30) ]);
+  check Alcotest.int "duplicates coalesce" 5 (ov (0, 100) [ (10, 15); (10, 15) ]);
+  check Alcotest.int "overlapping intervals coalesce" 15
+    (ov (0, 100) [ (10, 20); (15, 25) ]);
+  check Alcotest.int "already-coalesced fast path" 15
+    (ov ~coalesced:true (0, 100) [ (10, 20); (20, 25) ]);
+  check Alcotest.int "empty interval dropped" 0 (ov (0, 100) [ (50, 50) ]);
+  check Alcotest.int "inverted window" 0 (ov (10, 10) [ (0, 100) ]);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "coalesce normal form"
+    [ (0, 25); (40, 50) ]
+    (Analyzer.coalesce [ (15, 25); (0, 10); (10, 20); (40, 50); (45, 45) ])
+
 let close_to msg expected actual =
   if Float.abs (expected -. actual) > 1e-9 then
     Alcotest.failf "%s: expected %.12f, got %.12f" msg expected actual
@@ -575,6 +615,8 @@ let suite =
     ( "telemetry.analyzer",
       [
         case "percentile fixtures" `Quick percentile_fixtures;
+        case "p99.9 nearest-rank fixtures" `Quick p999_fixtures;
+        case "interval overlap fixtures" `Quick overlap_fixtures;
         case "mmu fixtures" `Quick mmu_fixtures;
         case "pause stats" `Quick pause_stats_of_recorder;
         case "relocation attribution" `Quick attribution_of_real_run;
