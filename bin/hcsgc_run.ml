@@ -122,6 +122,50 @@ let cache_of ~no_cache ~refresh ~cache_dir =
   if no_cache then None
   else Some (E.Runner.cache ~refresh ~dir:cache_dir ())
 
+(* Far-memory tier knobs, accepted by every workload command.  Default
+   off (capacity 0), which leaves each command's output byte-identical to
+   the tier-free build. *)
+
+let tier_capacity =
+  let doc =
+    "Far-memory tier capacity in small pages; 0 (default) disables \
+     tiering. Cold pages (no hot evidence across a GC cycle) are demoted \
+     behind DRAM at mark end and promoted back on barrier access. \
+     Requires a HOTNESS configuration."
+  in
+  Arg.(value & opt int 0 & info [ "tier-capacity" ] ~docv:"PAGES" ~doc)
+
+let lat_far_arg =
+  let doc =
+    "Far-tier access latency in cycles (a demand load into a far-resident \
+     line pays $(docv) instead of DRAM latency)."
+  in
+  Arg.(value & opt int 800 & info [ "lat-far" ] ~docv:"CYCLES" ~doc)
+
+let tier_no_promote =
+  let doc =
+    "Leave far pages stranded on mutator access (demote-only tiering) \
+     instead of promoting them back to DRAM."
+  in
+  Arg.(value & flag & info [ "tier-no-promote" ] ~doc)
+
+let apply_tier ~capacity ~lat_far ~no_promote config =
+  if capacity = 0 then config
+  else
+    match
+      Config.validate
+        {
+          config with
+          Config.tier_capacity_pages = capacity;
+          lat_far;
+          tier_promote = not no_promote;
+        }
+    with
+    | Ok c -> c
+    | Error e ->
+        Format.eprintf "invalid tier flags: %s@." e;
+        exit 2
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry artefacts                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -168,7 +212,15 @@ let report_single vm =
   Format.fprintf fmt "cache (whole process): loads=%d l1m=%d llcm=%d@." c.H.loads
     c.H.l1_misses c.H.llc_misses;
   Format.fprintf fmt "cache (mutator only):  loads=%d l1m=%d llcm=%d@."
-    mc.H.loads mc.H.l1_misses mc.H.llc_misses
+    mc.H.loads mc.H.l1_misses mc.H.llc_misses;
+  match Vm.tier vm with
+  | None -> ()
+  | Some t ->
+      Format.fprintf fmt
+        "far tier: %d far loads, %d pages demoted, %d promoted, peak %d KiB@."
+        (Vm.far_loads vm) (Gc_stats.pages_demoted st)
+        (Gc_stats.pages_promoted st)
+        (Hcsgc_memsim.Tier.peak_bytes t / 1024)
 
 let store_line store =
   let s = Hcsgc_store.Result_store.counters store in
@@ -182,10 +234,16 @@ let store_line store =
     ~bytes_written:s.Hcsgc_store.Result_store.bytes_written
 
 let run_experiment ?trace_out ?(trace_sample = 50_000) ?(verify = false)
-    ?cache ~all ~runs ~jobs ~config_id (exp : E.Runner.experiment) =
+    ?cache ?(tier = (0, 800, false)) ~all ~runs ~jobs ~config_id
+    (exp : E.Runner.experiment) =
+  let tier_cap, tier_lat, tier_nop = tier in
   if all then begin
     if trace_out <> None then
       Format.eprintf "[run] --trace-out ignored with --all-configs@.";
+    if tier_cap > 0 then
+      Format.eprintf
+        "[run] tier flags ignored with --all-configs (Table 2 sweep; use \
+         the tier command for capacity sweeps)@.";
     let results =
       E.Runner.run_configs ~runs ~jobs ~verify ?cache
         ~progress:(fun m -> Format.eprintf "[run] %s@." m)
@@ -199,7 +257,10 @@ let run_experiment ?trace_out ?(trace_sample = 50_000) ?(verify = false)
     | None -> ()
   end
   else begin
-    let config = Config.of_id config_id in
+    let config =
+      apply_tier ~capacity:tier_cap ~lat_far:tier_lat ~no_promote:tier_nop
+        (Config.of_id config_id)
+    in
     Format.fprintf fmt "workload %s under config %d (%s)%s@." exp.E.Runner.name
       config_id (Config.to_string config)
       (if verify then " [verified]" else "");
@@ -238,7 +299,7 @@ let synthetic_cmd =
   in
   let run config_id all runs jobs scale saturated shard_domains _seed elements
       phases cold_ratio trace_out trace_sample verify cache_dir no_cache
-      refresh =
+      refresh tier_cap tier_lat tier_nop =
     let scale = max 1 (scale * (100_000 / max 1 elements)) in
     let exp =
       E.Fig_synthetic.experiment ~phases ~cold_ratio ~saturated ~shard_domains
@@ -246,14 +307,15 @@ let synthetic_cmd =
     in
     run_experiment ?trace_out ~trace_sample ~verify
       ?cache:(cache_of ~no_cache ~refresh ~cache_dir)
-      ~all ~runs ~jobs ~config_id exp
+      ~tier:(tier_cap, tier_lat, tier_nop) ~all ~runs ~jobs ~config_id exp
   in
   Cmd.v
     (Cmd.info "synthetic" ~doc:"The paper's synthetic micro-benchmark (§4.4)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
       $ shard_domains $ seed $ elements $ phases $ cold_ratio $ trace_out
-      $ trace_sample $ verify_flag $ cache_dir $ no_cache $ refresh_flag)
+      $ trace_sample $ verify_flag $ cache_dir $ no_cache $ refresh_flag
+      $ tier_capacity $ lat_far_arg $ tier_no_promote)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)
@@ -287,7 +349,8 @@ let graph_cmd =
         & info [ "dataset" ] ~docv:"uk|enwiki" ~doc:"Table 3 input (generator stand-in).")
   in
   let run config_id all runs jobs scale _saturated shard_domains _seed algo
-      dataset trace_out trace_sample verify cache_dir no_cache refresh =
+      dataset trace_out trace_sample verify cache_dir no_cache refresh
+      tier_cap tier_lat tier_nop =
     let module D = Hcsgc_graph.Dataset in
     let exp =
       match (algo, dataset) with
@@ -306,14 +369,15 @@ let graph_cmd =
     in
     run_experiment ?trace_out ~trace_sample ~verify
       ?cache:(cache_of ~no_cache ~refresh ~cache_dir)
-      ~all ~runs ~jobs ~config_id exp
+      ~tier:(tier_cap, tier_lat, tier_nop) ~all ~runs ~jobs ~config_id exp
   in
   Cmd.v
     (Cmd.info "graph" ~doc:"JGraphT-style graph workloads (§4.5)")
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
       $ shard_domains $ seed $ algo $ dataset $ trace_out $ trace_sample
-      $ verify_flag $ cache_dir $ no_cache $ refresh_flag)
+      $ verify_flag $ cache_dir $ no_cache $ refresh_flag $ tier_capacity
+      $ lat_far_arg $ tier_no_promote)
 
 (* ------------------------------------------------------------------ *)
 (* h2 / tradebeans / specjbb                                           *)
@@ -321,10 +385,11 @@ let graph_cmd =
 
 let h2_cmd =
   let run config_id all runs jobs scale _ shard_domains _ trace_out
-      trace_sample verify cache_dir no_cache refresh =
+      trace_sample verify cache_dir no_cache refresh tier_cap tier_lat
+      tier_nop =
     run_experiment ?trace_out ~trace_sample ~verify
       ?cache:(cache_of ~no_cache ~refresh ~cache_dir)
-      ~all ~runs ~jobs ~config_id
+      ~tier:(tier_cap, tier_lat, tier_nop) ~all ~runs ~jobs ~config_id
       (E.Fig_dacapo.h2_experiment ~shard_domains ~scale ())
   in
   Cmd.v
@@ -332,14 +397,16 @@ let h2_cmd =
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
       $ shard_domains $ seed $ trace_out $ trace_sample $ verify_flag
-      $ cache_dir $ no_cache $ refresh_flag)
+      $ cache_dir $ no_cache $ refresh_flag $ tier_capacity $ lat_far_arg
+      $ tier_no_promote)
 
 let tradebeans_cmd =
   let run config_id all runs jobs scale _ shard_domains _ trace_out
-      trace_sample verify cache_dir no_cache refresh =
+      trace_sample verify cache_dir no_cache refresh tier_cap tier_lat
+      tier_nop =
     run_experiment ?trace_out ~trace_sample ~verify
       ?cache:(cache_of ~no_cache ~refresh ~cache_dir)
-      ~all ~runs ~jobs ~config_id
+      ~tier:(tier_cap, tier_lat, tier_nop) ~all ~runs ~jobs ~config_id
       (E.Fig_dacapo.tradebeans_experiment ~shard_domains ~scale ())
   in
   Cmd.v
@@ -348,7 +415,8 @@ let tradebeans_cmd =
     Term.(
       const run $ config_id $ all_configs $ runs $ jobs $ scale $ saturated
       $ shard_domains $ seed $ trace_out $ trace_sample $ verify_flag
-      $ cache_dir $ no_cache $ refresh_flag)
+      $ cache_dir $ no_cache $ refresh_flag $ tier_capacity $ lat_far_arg
+      $ tier_no_promote)
 
 let specjbb_cmd =
   let run config_id _all _runs scale _ shard_domains seed verify =
@@ -468,7 +536,7 @@ let serve_cmd =
   in
   let run config_id keys value_words mutators dist mix scan_len arrivals load
       duration slo_us heap_mb seed shard_domains trace_out trace_sample
-      verify =
+      verify tier_cap tier_lat tier_nop =
     let fail fmt_str = Format.kasprintf (fun m -> Format.eprintf "%s@." m; exit 2) fmt_str in
     let dist =
       match Keydist.spec_of_string dist with
@@ -498,7 +566,10 @@ let serve_cmd =
         seed;
       }
     in
-    let config = Config.of_id config_id in
+    let config =
+      apply_tier ~capacity:tier_cap ~lat_far:tier_lat ~no_promote:tier_nop
+        (Config.of_id config_id)
+    in
     Format.fprintf fmt "serve under config %d (%s)%s%s@." config_id
       (Config.to_string config)
       (if shard_domains > 0 then
@@ -543,7 +614,8 @@ let serve_cmd =
     Term.(
       const run $ config_id $ keys $ value_words $ mutators $ dist $ mix
       $ scan_len $ arrivals $ load $ duration $ slo_us $ heap_mb $ seed
-      $ shard_domains $ trace_out $ trace_sample $ verify_flag)
+      $ shard_domains $ trace_out $ trace_sample $ verify_flag
+      $ tier_capacity $ lat_far_arg $ tier_no_promote)
 
 (* ------------------------------------------------------------------ *)
 (* profile: one (experiment, config) pair with full telemetry          *)
@@ -650,8 +722,12 @@ let fuzz_cmd =
     Arg.(value & opt int 1 & info [ "mutators" ] ~docv:"N"
            ~doc:"Deal actions round-robin over $(docv) mutator threads.")
   in
-  let run config_id seed seeds ops slots out no_oracle mutators shard_domains =
-    let config = Config.of_id config_id in
+  let run config_id seed seeds ops slots out no_oracle mutators shard_domains
+      tier_cap tier_lat tier_nop =
+    let config =
+      apply_tier ~capacity:tier_cap ~lat_far:tier_lat ~no_promote:tier_nop
+        (Config.of_id config_id)
+    in
     Format.fprintf fmt
       "fuzzing %d seed(s) from %d: config %d (%s), %d ops x %d slots, %d \
        mutator(s)%s@."
@@ -693,7 +769,42 @@ let fuzz_cmd =
           sequence (written to --out)")
     Term.(
       const run $ config_id $ seed $ seeds $ ops $ slots $ out $ no_oracle
-      $ mutators $ shard_domains)
+      $ mutators $ shard_domains $ tier_capacity $ lat_far_arg
+      $ tier_no_promote)
+
+(* ------------------------------------------------------------------ *)
+(* tier: the far-memory capacity sweep                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tier_cmd =
+  let capacities =
+    let doc =
+      "Far-tier capacities to sweep, in small pages (64 KiB each at the \
+       scaled layout); 0 is the tier-free baseline."
+    in
+    Arg.(value
+        & opt (list int) E.Fig_tier.default_capacities
+        & info [ "capacities" ] ~docv:"P1,P2,..." ~doc)
+  in
+  let run runs jobs scale shard_domains capacities lat_far no_promote verify
+      cache_dir no_cache refresh =
+    let cache = cache_of ~no_cache ~refresh ~cache_dir in
+    E.Fig_tier.figure ~runs ~jobs ~scale ~shard_domains ~capacities ~lat_far
+      ~promote:(not no_promote) ~verify ?cache fmt;
+    Option.iter
+      (fun c -> Format.eprintf "[tier] %s@." (store_line c.E.Runner.store))
+      cache
+  in
+  Cmd.v
+    (Cmd.info "tier"
+       ~doc:
+         "Sweep far-memory tier capacity across the workload families: far \
+          hit rate, simulated wall time and DRAM-footprint savings per \
+          capacity, under the strongest hotness configuration")
+    Term.(
+      const run $ runs $ jobs $ scale $ shard_domains $ capacities
+      $ lat_far_arg $ tier_no_promote $ verify_flag $ cache_dir $ no_cache
+      $ refresh_flag)
 
 (* ------------------------------------------------------------------ *)
 (* figure: delegate to the bench registry                              *)
@@ -703,7 +814,7 @@ let figure_cmd =
   let which =
     Arg.(required
         & pos 0 (some string) None
-        & info [] ~docv:"FIG" ~doc:"t1 t2 t3 f4..f13 fserve")
+        & info [] ~docv:"FIG" ~doc:"t1 t2 t3 f4..f13 fserve ftier")
   in
   let run which runs jobs scale shard_domains cache_dir no_cache refresh =
     let cache = cache_of ~no_cache ~refresh ~cache_dir in
@@ -728,6 +839,8 @@ let figure_cmd =
     | "f13" -> E.Fig_specjbb.fig13 ~runs ~jobs ~scale ~shard_domains:sd fmt
     | "fserve" ->
         E.Fig_serve.figure ~runs ~jobs ~scale ~shard_domains:sd ?cache fmt
+    | "ftier" ->
+        E.Fig_tier.figure ~runs ~jobs ~scale ~shard_domains:sd ?cache fmt
     | other -> Format.eprintf "unknown figure: %s@." other);
     Option.iter
       (fun c -> Format.eprintf "[figure] %s@." (store_line c.E.Runner.store))
@@ -753,4 +866,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ synthetic_cmd; graph_cmd; h2_cmd; tradebeans_cmd; specjbb_cmd;
-            lru_cmd; serve_cmd; profile_cmd; fuzz_cmd; figure_cmd ]))
+            lru_cmd; serve_cmd; profile_cmd; fuzz_cmd; tier_cmd; figure_cmd ]))

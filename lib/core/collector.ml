@@ -6,6 +6,7 @@ module Layout = Hcsgc_heap.Layout
 module Fwd_table = Hcsgc_heap.Fwd_table
 module Alloc_region = Hcsgc_heap.Alloc_region
 module Machine = Hcsgc_memsim.Machine
+module Tier = Hcsgc_memsim.Tier
 module Vec = Hcsgc_util.Vec
 
 type phase = Idle | Marking | Relocating
@@ -25,6 +26,8 @@ type who = Mutator of int | Gc
 exception Out_of_memory
 exception Invalid_handle of string
 
+let t_cap (config : Config.t) = config.Config.tier_capacity_pages
+
 (* A page being evacuated by the GC relocation pass: the live objects
    snapshot (from the livemap) and a cursor. *)
 type relo_cursor = {
@@ -37,6 +40,11 @@ type t = {
   heap : Heap.t;
   machine : Machine.t;
   config : Config.t;
+  (* Far-memory tier shared with the machine ([Machine.set_tier]); [None]
+     unless [config.tier_capacity_pages > 0].  The collector owns all
+     residency transitions: demotion of cold small pages at sweep,
+     promotion on barrier access, and removal when a page is freed. *)
+  tier : Tier.t option;
   gc_core : int;
   (* Root enumeration as an iterator: the VM applies the callback to every
      root in a fixed order.  Unlike the list-returning callback this
@@ -89,15 +97,22 @@ type t = {
   mutable last_cost : int;
 }
 
-let create ?(sink = Gc_log.null_sink) ~heap ~machine ~config ~gc_core ~roots
-    () =
+let create ?(sink = Gc_log.null_sink) ?tier ~heap ~machine ~config ~gc_core
+    ~roots () =
   (match Config.validate config with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Collector.create: " ^ msg));
+  (match tier with
+  | Some _ when t_cap config = 0 ->
+      invalid_arg "Collector.create: tier supplied but tiering disabled"
+  | None when t_cap config > 0 ->
+      invalid_arg "Collector.create: tiering enabled but no tier supplied"
+  | _ -> ());
   {
     heap;
     machine;
     config;
+    tier;
     gc_core;
     roots;
     stats = Gc_stats.create ();
@@ -129,6 +144,7 @@ let create ?(sink = Gc_log.null_sink) ~heap ~machine ~config ~gc_core ~roots
 
 let heap t = t.heap
 let config t = t.config
+let tier t = t.tier
 let set_sink t sink = t.sink <- sink
 let stats t = t.stats
 let phase t = t.phase
@@ -349,7 +365,27 @@ let mark_object t (obj : Heap_obj.t) =
   end
   else 0
 
+(* Promote a far-resident page back to DRAM.  Called only with
+   [page.tier = Far], which implies a tier exists (demotion is the only
+   way to set the bit).  Returns the cycle cost (0 when the promote
+   policy is off — the page then stays far and keeps paying [lat_far]). *)
+let promote_page t (page : Page.t) =
+  match t.tier with
+  | Some tier when t.config.Config.tier_promote ->
+      Heap.set_tier_dram t.heap page;
+      Tier.promote tier ~addr:page.Page.start ~bytes:page.Page.size;
+      Gc_stats.on_page_promoted t.stats;
+      Cost.tier_promote
+  | _ -> 0
+
 let flag_hot t ~(page : Page.t) (obj : Heap_obj.t) =
+  (* Hot-flagging a far page promotes it first: with the promote policy
+     on, "resident far" implies "no hot bytes" at every phase edge. *)
+  let promo =
+    if page.Page.tier = Page.Far then promote_page t page else 0
+  in
+  promo
+  +
   if t.config.Config.hotness && page.Page.cls = Layout.Small then
     if Heap.flag_hot t.heap page obj then begin
       Gc_stats.on_hot_flag t.stats;
@@ -393,13 +429,15 @@ let use_handle t ~core (obj : Heap_obj.t) =
        flagged, exactly as in ZGC. *)
     if relocated then cost := !cost + flag_hot t ~page obj;
     if t.phase = Marking then cost := !cost + mark_object t obj;
+    if page.Page.tier = Page.Far then cost := !cost + promote_page t page;
     !cost
   end
   else begin
     (* Fast path — the steady-state barrier: validate the handle, charge
-       nothing, allocate nothing. *)
+       nothing, allocate nothing.  The tier-bit compare is the only
+       tiering footprint here; it is always [Dram] when tiering is off. *)
     check_handle page obj;
-    0
+    if page.Page.tier = Page.Far then promote_page t page else 0
   end
 
 let slot_addr t obj slot = Heap_obj.ref_slot_addr ~layout:(layout t) obj slot
@@ -685,6 +723,50 @@ let select_class t ~cls ~page_size =
   end;
   (Vec.to_list selected, !cost)
 
+(* Demote cold small pages to the far tier, capacity permitting.  Runs on
+   the GC core at sweep (after EC selection, so freshly-selected In_ec
+   pages are excluded).  A page is demotable when it survived marking with
+   no hot bytes this epoch — and, below full COLDCONFIDENCE, none the
+   previous epoch either (less confidence in the hotmap means demanding a
+   longer cold streak before paying the migration).  Candidates are taken
+   in page-id order so the choice under capacity pressure is
+   deterministic. *)
+let demote_cold_pages t tier =
+  let candidates = Vec.create () in
+  Heap.iter_pages t.heap (fun (page : Page.t) ->
+      if
+        page.Page.cls = Layout.Small
+        && page.Page.state = Page.Active
+        && page.Page.birth_cycle < t.cycle_no
+        && (not page.Page.is_alloc_target)
+        && page.Page.tier = Page.Dram
+        && page.Page.live_bytes > 0
+        && page.Page.hot_bytes = 0
+        && (t.dyn_cold_confidence >= 1.0 || page.Page.prev_hot_bytes = 0)
+      then Vec.push candidates page);
+  let pages = Vec.to_array candidates in
+  Array.sort
+    (fun (a : Page.t) (b : Page.t) -> compare a.Page.id b.Page.id)
+    pages;
+  let cost = ref 0 in
+  let demoted = ref 0 in
+  Array.iter
+    (fun (page : Page.t) ->
+      if Tier.would_fit tier ~bytes:page.Page.size then begin
+        let ok = Tier.demote tier ~addr:page.Page.start ~bytes:page.Page.size in
+        assert ok;
+        Heap.set_tier_far t.heap page;
+        Gc_stats.on_page_demoted t.stats;
+        incr demoted;
+        cost := !cost + Cost.tier_demote
+      end)
+    pages;
+  if !demoted > 0 && not (Gc_log.is_null t.sink) then
+    t.sink
+      (Gc_log.Pages_demoted
+         { cycle = t.cycle_no; pages = !demoted; wall = t.wall_hint });
+  !cost
+
 (* STW2 + EC selection + STW3, performed when marking has drained. *)
 let finish_mark t =
   assert (t.phase = Marking);
@@ -741,6 +823,11 @@ let finish_mark t =
       (Gc_log.Ec_selected
          { cycle = t.cycle_no; small = List.length small;
            medium = List.length medium; wall = t.wall_hint });
+  (* Far-tier demotion rides the same sweep, after EC selection so pages
+     headed for evacuation are not pointlessly migrated first. *)
+  (match t.tier with
+  | Some tier -> cost := !cost + demote_cold_pages t tier
+  | None -> ());
   (* STW3: flip good colour to R; relocate roots pointing into EC. *)
   t.good <- Addr.R;
   t.roots (fun root ->
@@ -787,6 +874,13 @@ let release_page t (page : Page.t) =
       (Gc_log.Page_freed
          { cycle = t.cycle_no; page_id = page.Page.id; bytes = page.Page.size;
            wall = t.wall_hint });
+  (* Drop far-tier residency before the range can be recycled: a later
+     page reusing these granules must start DRAM-resident. *)
+  (if page.Page.tier = Page.Far then
+     match t.tier with
+     | Some tier ->
+         Tier.promote tier ~addr:page.Page.start ~bytes:page.Page.size
+     | None -> assert false);
   Heap.free_page t.heap page;
   let granule_bytes = Layout.granule (layout t) in
   let first = page.Page.start / granule_bytes in

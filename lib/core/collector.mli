@@ -45,6 +45,7 @@ exception Invalid_handle of string
 
 val create :
   ?sink:Gc_log.sink ->
+  ?tier:Hcsgc_memsim.Tier.t ->
   heap:Heap.t ->
   machine:Machine.t ->
   config:Config.t ->
@@ -55,6 +56,15 @@ val create :
 (** [sink] receives structured GC events ({!Gc_log}); defaults to
     {!Gc_log.null_sink}.  Fan out to several consumers (event log,
     telemetry, ...) with {!Gc_log.tee}.
+
+    [tier] is the far-memory tier the collector manages (the same value
+    the embedder passes to {!Machine.set_tier}).  Required exactly when
+    [config.tier_capacity_pages > 0]: the collector demotes cold small
+    pages into it at sweep, promotes far pages back to DRAM on barrier
+    access (under [config.tier_promote]), and clears residency when a
+    far page is freed.
+    @raise Invalid_argument if [tier]'s presence disagrees with the
+    config's [tier_capacity_pages], or the config is invalid.
 
     [roots] enumerates the current root set by applying its callback to
     every root, in a stable order (determinism depends on it).  An iterator
@@ -68,6 +78,11 @@ val set_sink : t -> Gc_log.sink -> unit
 
 val heap : t -> Heap.t
 val config : t -> Config.t
+
+val tier : t -> Hcsgc_memsim.Tier.t option
+(** The far-memory tier, when tiering is on — read-only access for the
+    verifier (per-tier byte totals round-trip against {!Heap.far_bytes}). *)
+
 val stats : t -> Gc_stats.t
 val phase : t -> phase
 val good_color : t -> Addr.color

@@ -4,6 +4,9 @@ type t = {
   cold_confidence : float;
   relocate_all_small_pages : bool;
   lazy_relocate : bool;
+  tier_capacity_pages : int;
+  lat_far : int;
+  tier_promote : bool;
 }
 
 let zgc =
@@ -13,6 +16,9 @@ let zgc =
     cold_confidence = 0.0;
     relocate_all_small_pages = false;
     lazy_relocate = false;
+    tier_capacity_pages = 0;
+    lat_far = 800;
+    tier_promote = true;
   }
 
 let validate t =
@@ -22,13 +28,19 @@ let validate t =
     Error "COLDCONFIDENCE must lie in [0, 1]"
   else if t.cold_confidence > 0.0 && not t.hotness then
     Error "COLDCONFIDENCE requires HOTNESS to be enabled"
+  else if t.tier_capacity_pages < 0 then
+    Error "TIER capacity must be non-negative"
+  else if t.tier_capacity_pages > 0 && not t.hotness then
+    Error "TIER requires HOTNESS to be enabled"
+  else if t.lat_far <= 0 then Error "LATFAR must be positive"
   else Ok t
 
 let make ?(hotness = false) ?(coldpage = false) ?(cold_confidence = 0.0)
-    ?(relocate_all_small_pages = false) ?(lazy_relocate = false) () =
+    ?(relocate_all_small_pages = false) ?(lazy_relocate = false)
+    ?(tier_capacity_pages = 0) ?(lat_far = 800) ?(tier_promote = true) () =
   let t =
     { hotness; coldpage; cold_confidence; relocate_all_small_pages;
-      lazy_relocate }
+      lazy_relocate; tier_capacity_pages; lat_far; tier_promote }
   in
   match validate t with Ok t -> t | Error msg -> invalid_arg ("Config: " ^ msg)
 
@@ -73,6 +85,9 @@ let equal a b =
   && Float.equal a.cold_confidence b.cold_confidence
   && a.relocate_all_small_pages = b.relocate_all_small_pages
   && a.lazy_relocate = b.lazy_relocate
+  && a.tier_capacity_pages = b.tier_capacity_pages
+  && a.lat_far = b.lat_far
+  && a.tier_promote = b.tier_promote
 
 let to_string t =
   let parts =
@@ -86,6 +101,17 @@ let to_string t =
          else None);
         (if t.relocate_all_small_pages then Some "ra" else None);
         (if t.lazy_relocate then Some "lazy" else None);
+        (* Tier parts appear only with tiering on, so every pre-tier
+           configuration keeps its exact historical name. *)
+        (if t.tier_capacity_pages > 0 then
+           Some (Printf.sprintf "tier%d" t.tier_capacity_pages)
+         else None);
+        (if t.tier_capacity_pages > 0 && t.lat_far <> zgc.lat_far then
+           Some (Printf.sprintf "far%d" t.lat_far)
+         else None);
+        (if t.tier_capacity_pages > 0 && not t.tier_promote then
+           Some "nopromote"
+         else None);
       ]
   in
   match parts with [] -> "zgc" | _ -> String.concat "+" parts

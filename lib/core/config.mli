@@ -14,7 +14,20 @@
     - [relocate_all_small_pages] — put every eligible small page in EC.
     - [lazy_relocate] — defer the GC threads' relocation pass to the start of
       the next GC cycle (Fig. 3), giving mutators the whole inter-cycle
-      window to relocate objects in access order. *)
+      window to relocate objects in access order.
+
+    Far-memory tiering knobs (not in the paper; the ROADMAP's CXL/NVM
+    extension — cold pages demoted behind DRAM, hot data kept near):
+
+    - [tier_capacity_pages] — far-tier capacity in small pages; [0]
+      (default) disables tiering entirely, leaving every existing
+      configuration byte-identical.  Requires [hotness]: demotion is driven
+      by the hotmap.
+    - [lat_far] — cycles for a demand load served by the far tier (replaces
+      [lat_mem] for resident lines).  Only meaningful with tiering on.
+    - [tier_promote] — promote a far page back to DRAM when the mutator
+      touches it via the barrier path (default).  Off = demote-only, for
+      measuring the cost of stranded pages. *)
 
 type t = {
   hotness : bool;
@@ -22,6 +35,9 @@ type t = {
   cold_confidence : float;
   relocate_all_small_pages : bool;
   lazy_relocate : bool;
+  tier_capacity_pages : int;
+  lat_far : int;
+  tier_promote : bool;
 }
 
 val zgc : t
@@ -33,6 +49,9 @@ val make :
   ?cold_confidence:float ->
   ?relocate_all_small_pages:bool ->
   ?lazy_relocate:bool ->
+  ?tier_capacity_pages:int ->
+  ?lat_far:int ->
+  ?tier_promote:bool ->
   unit ->
   t
 (** Build a configuration; all knobs default to off.
@@ -40,7 +59,9 @@ val make :
 
 val validate : t -> (t, string) result
 (** Check the dependency rules: [coldpage] requires [hotness];
-    [cold_confidence] must be in [0, 1] and non-zero only with [hotness]. *)
+    [cold_confidence] must be in [0, 1] and non-zero only with [hotness];
+    [tier_capacity_pages] must be non-negative and positive only with
+    [hotness]; [lat_far] must be positive. *)
 
 val table2 : (int * t) list
 (** The benchmark configurations of Table 2, as [(config_id, config)].
@@ -58,6 +79,8 @@ val id_count : int
 val equal : t -> t -> bool
 
 val to_string : t -> string
-(** Compact knob listing, e.g. ["hot+cp+cc0.5+lazy"]. *)
+(** Compact knob listing, e.g. ["hot+cp+cc0.5+lazy"].  Tier parts
+    ([tier64], [far1200], [nopromote]) appear only when tiering is on, so
+    pre-tier configurations keep their historical names. *)
 
 val pp : Format.formatter -> t -> unit

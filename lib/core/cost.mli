@@ -46,3 +46,11 @@ val root_fixup : int
 
 val ec_select_per_page : int
 (** Per-candidate-page work during EC selection. *)
+
+val tier_demote : int
+(** Per-page cost of demoting a cold page to the far tier (page-table
+    remap + TLB shootdown amortisation), charged to the GC core. *)
+
+val tier_promote : int
+(** Per-page cost of promoting a far page back to DRAM, charged to the
+    accessing mutator's slow path. *)

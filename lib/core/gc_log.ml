@@ -6,6 +6,7 @@ type event =
   | Mark_end of { cycle : int; marked_objects : int; wall : int }
   | Ec_selected of { cycle : int; small : int; medium : int; wall : int }
   | Relocation_deferred of { cycle : int; pages : int; wall : int }
+  | Pages_demoted of { cycle : int; pages : int; wall : int }
   | Page_freed of { cycle : int; page_id : int; bytes : int; wall : int }
   | Cycle_end of { cycle : int; wall : int; heap_used : int }
 
@@ -89,6 +90,9 @@ let pp_event fmt = function
   | Relocation_deferred { cycle; pages; wall = _ } ->
       Format.fprintf fmt
         "[gc] GC(%d) Relocation deferred to next cycle (%d pages, lazy)" cycle
+        pages
+  | Pages_demoted { cycle; pages; wall = _ } ->
+      Format.fprintf fmt "[gc] GC(%d) Demoted %d cold pages to far tier" cycle
         pages
   | Page_freed { cycle; page_id; bytes; wall = _ } ->
       Format.fprintf fmt "[gc] GC(%d) Page freed: #%d (%dK)" cycle page_id

@@ -20,6 +20,9 @@ type event =
   | Ec_selected of { cycle : int; small : int; medium : int; wall : int }
   | Relocation_deferred of { cycle : int; pages : int; wall : int }
       (** LAZYRELOCATE handed the evacuation set to the mutators. *)
+  | Pages_demoted of { cycle : int; pages : int; wall : int }
+      (** Cold pages demoted to the far-memory tier at sweep (only emitted
+          with tiering on). *)
   | Page_freed of { cycle : int; page_id : int; bytes : int; wall : int }
   | Cycle_end of { cycle : int; wall : int; heap_used : int }
 

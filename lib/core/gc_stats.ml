@@ -19,6 +19,8 @@ type t = {
   mutable stw : int;
   mutable barrier_fast : int;
   mutable barrier_slow : int;
+  mutable pages_demoted : int;
+  mutable pages_promoted : int;
   samples : (int * int) Vec.t;
 }
 
@@ -35,6 +37,8 @@ let create () =
     stw = 0;
     barrier_fast = 0;
     barrier_slow = 0;
+    pages_demoted = 0;
+    pages_promoted = 0;
     samples = Vec.create ();
   }
 
@@ -67,6 +71,8 @@ let on_barrier t ~slow =
   if slow then t.barrier_slow <- t.barrier_slow + 1
   else t.barrier_fast <- t.barrier_fast + 1
 let on_heap_sample t ~wall ~used = Vec.push t.samples (wall, used)
+let on_page_demoted t = t.pages_demoted <- t.pages_demoted + 1
+let on_page_promoted t = t.pages_promoted <- t.pages_promoted + 1
 
 let cycles t = Vec.length t.records
 let cycle_records t = Vec.to_list t.records
@@ -94,6 +100,8 @@ let hot_flags t = t.hot_flags
 let stw_pauses t = t.stw
 let barrier_fast_paths t = t.barrier_fast
 let barrier_slow_paths t = t.barrier_slow
+let pages_demoted t = t.pages_demoted
+let pages_promoted t = t.pages_promoted
 let heap_samples t = Vec.to_list t.samples
 
 let pp fmt t =

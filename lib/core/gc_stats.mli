@@ -35,6 +35,12 @@ val on_barrier : t -> slow:bool -> unit
     when the slow path ran (bad colour, or the object sat on an in-EC
     page).  Feeds the telemetry counter samples. *)
 
+val on_page_demoted : t -> unit
+(** Record a cold page demoted to the far tier at sweep. *)
+
+val on_page_promoted : t -> unit
+(** Record a far page promoted back to DRAM on mutator access. *)
+
 val cycles : t -> int
 (** Completed-or-started GC cycles. *)
 
@@ -61,6 +67,12 @@ val barrier_fast_paths : t -> int
 
 val barrier_slow_paths : t -> int
 (** Mutator barriers that took the slow path (remap / mark / relocate). *)
+
+val pages_demoted : t -> int
+(** Cold pages demoted to the far tier over the run. *)
+
+val pages_promoted : t -> int
+(** Far pages promoted back to DRAM over the run. *)
 
 val heap_samples : t -> (int * int) list
 (** [(wall, used_bytes)] samples, oldest first. *)

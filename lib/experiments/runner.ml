@@ -15,10 +15,13 @@ type run_metrics = {
   llc_misses : float;
   mut_l1_misses : float;
   mut_llc_misses : float;
+  far_loads : float;
   gc_cycle_count : int;
   ec_median : float;
   reloc_mut : int;
   reloc_gc : int;
+  pages_demoted : int;
+  pages_promoted : int;
   heap_samples : (int * int) list;
 }
 
@@ -33,10 +36,13 @@ let collect vm =
     llc_misses = float_of_int c.H.llc_misses;
     mut_l1_misses = float_of_int mc.H.l1_misses;
     mut_llc_misses = float_of_int mc.H.llc_misses;
+    far_loads = float_of_int (Vm.far_loads vm);
     gc_cycle_count = Gc_stats.cycles st;
     ec_median = Gc_stats.median_small_pages_in_ec st;
     reloc_mut = Gc_stats.objects_relocated_by_mutator st;
     reloc_gc = Gc_stats.objects_relocated_by_gc st;
+    pages_demoted = Gc_stats.pages_demoted st;
+    pages_promoted = Gc_stats.pages_promoted st;
     heap_samples = Gc_stats.heap_samples st;
   }
 
@@ -69,11 +75,13 @@ let jobs_of ?config_ids ~runs exp =
    config {e id}: ids 0 and 1 are the same knob vector, so by content
    addressing they share one cache entry — which is exactly right, their
    metrics are bit-identical. *)
-let config_fingerprint_key config_id =
-  let c = Config.of_id config_id in
-  Printf.sprintf "h=%b;cp=%b;cc=%h;ra=%b;lz=%b" c.Config.hotness c.Config.coldpage
-    c.Config.cold_confidence c.Config.relocate_all_small_pages
-    c.Config.lazy_relocate
+let config_value_key (c : Config.t) =
+  Printf.sprintf "h=%b;cp=%b;cc=%h;ra=%b;lz=%b;tc=%d;lf=%d;tp=%b"
+    c.Config.hotness c.Config.coldpage c.Config.cold_confidence
+    c.Config.relocate_all_small_pages c.Config.lazy_relocate
+    c.Config.tier_capacity_pages c.Config.lat_far c.Config.tier_promote
+
+let config_fingerprint_key config_id = config_value_key (Config.of_id config_id)
 
 let config_key = config_fingerprint_key
 
@@ -88,16 +96,17 @@ let fingerprint ~verify job =
    usefully distinguish. *)
 let cost_key job = job.exp.key ^ "#" ^ config_fingerprint_key job.config_id
 
-let metrics_magic = "hcsgc-metrics 1"
+let metrics_magic = "hcsgc-metrics 2"
 
 let metrics_to_string m =
   let buf = Buffer.create 256 in
   Buffer.add_string buf metrics_magic;
   Buffer.add_char buf '\n';
   (* [%h] round-trips every finite float exactly through float_of_string. *)
-  Printf.bprintf buf "%h %h %h %h %h %h %d %h %d %d\n" m.wall m.loads
-    m.l1_misses m.llc_misses m.mut_l1_misses m.mut_llc_misses
-    m.gc_cycle_count m.ec_median m.reloc_mut m.reloc_gc;
+  Printf.bprintf buf "%h %h %h %h %h %h %h %d %h %d %d %d %d\n" m.wall m.loads
+    m.l1_misses m.llc_misses m.mut_l1_misses m.mut_llc_misses m.far_loads
+    m.gc_cycle_count m.ec_median m.reloc_mut m.reloc_gc m.pages_demoted
+    m.pages_promoted;
   List.iter
     (fun (wall, used) -> Printf.bprintf buf "%d,%d " wall used)
     m.heap_samples;
@@ -108,20 +117,24 @@ let metrics_of_string s =
   let ( let* ) = Option.bind in
   match String.split_on_char '\n' s with
   | [ magic; scalars; samples; "" ] when magic = metrics_magic ->
-      let* wall, loads, l1, llc, mut_l1, mut_llc, gc_cycles, ec, rm, rg =
+      let* wall, loads, l1, llc, mut_l1, mut_llc, far, gc_cycles, ec, rm, rg,
+           pd, pp =
         match String.split_on_char ' ' scalars with
-        | [ w; lo; l1; ll; m1; ml; gc; ec; rm; rg ] ->
+        | [ w; lo; l1; ll; m1; ml; fr; gc; ec; rm; rg; pd; pp ] ->
             let* w = float_of_string_opt w in
             let* lo = float_of_string_opt lo in
             let* l1 = float_of_string_opt l1 in
             let* ll = float_of_string_opt ll in
             let* m1 = float_of_string_opt m1 in
             let* ml = float_of_string_opt ml in
+            let* fr = float_of_string_opt fr in
             let* gc = int_of_string_opt gc in
             let* ec = float_of_string_opt ec in
             let* rm = int_of_string_opt rm in
             let* rg = int_of_string_opt rg in
-            Some (w, lo, l1, ll, m1, ml, gc, ec, rm, rg)
+            let* pd = int_of_string_opt pd in
+            let* pp = int_of_string_opt pp in
+            Some (w, lo, l1, ll, m1, ml, fr, gc, ec, rm, rg, pd, pp)
         | _ -> None
       in
       let* heap_samples =
@@ -147,10 +160,13 @@ let metrics_of_string s =
           llc_misses = llc;
           mut_l1_misses = mut_l1;
           mut_llc_misses = mut_llc;
+          far_loads = far;
           gc_cycle_count = gc_cycles;
           ec_median = ec;
           reloc_mut = rm;
           reloc_gc = rg;
+          pages_demoted = pd;
+          pages_promoted = pp;
           heap_samples;
         }
   | _ -> None

@@ -30,10 +30,13 @@ type run_metrics = {
   llc_misses : float;
   mut_l1_misses : float;  (** mutator-core-only (see DESIGN.md) *)
   mut_llc_misses : float;
+  far_loads : float;  (** demand loads served by the far tier (0 if off) *)
   gc_cycle_count : int;
   ec_median : float;  (** median small pages in EC per cycle *)
   reloc_mut : int;
   reloc_gc : int;
+  pages_demoted : int;  (** cold pages demoted to the far tier *)
+  pages_promoted : int;  (** far pages promoted back to DRAM *)
   heap_samples : (int * int) list;  (** (wall, used bytes) *)
 }
 
@@ -93,6 +96,11 @@ val config_key : int -> string
     [~config] component of every job fingerprint.  Exposed for
     experiments that store custom payloads (e.g. the serving tier's SLO
     reports) under the same addressing scheme. *)
+
+val config_value_key : Config.t -> string
+(** The same lossless knob rendering for an arbitrary configuration value
+    (not necessarily a Table 2 row) — what experiments sweeping custom
+    knob vectors (e.g. the far-tier capacity sweep) fingerprint with. *)
 
 val fingerprint : verify:bool -> job -> Hcsgc_store.Fingerprint.t
 (** The job's content address.  Configuration knobs enter the fingerprint

@@ -20,6 +20,10 @@ type t = {
      epoch resets go through {!flag_hot}/{!reset_mark_state} below), and
      [page_counts] counts non-freed pages per size class. *)
   mutable hot_total : int;
+  (* Sum of [Page.size] over non-freed pages whose [Page.tier] is [Far];
+     maintained by {!set_tier_far}/{!set_tier_dram}/{!free_page} so the
+     far-memory footprint is O(1) to sample, like [hot_total]. *)
+  mutable far_total : int;
   page_counts : int array;  (* indexed by class_index *)
 }
 
@@ -40,6 +44,7 @@ let create ?(layout = Layout.paper) ~max_bytes () =
     next_page_id = 0;
     next_obj_id = 0;
     hot_total = 0;
+    far_total = 0;
     page_counts = Array.make 3 0;
   }
 
@@ -48,6 +53,7 @@ let[@inline] max_bytes t = t.max_bytes
 let[@inline] used_bytes t = t.used
 let[@inline] used_ratio t = float_of_int t.used /. float_of_int t.max_bytes
 let[@inline] hot_bytes t = t.hot_total
+let[@inline] far_bytes t = t.far_total
 
 let address_space_bytes t = t.next_granule * Layout.granule t.layout
 
@@ -133,6 +139,10 @@ let free_page t (page : Page.t) =
   page.Page.state <- Page.Freed;
   t.used <- t.used - page.Page.size;
   t.hot_total <- t.hot_total - page.Page.hot_bytes;
+  if page.Page.tier = Page.Far then begin
+    t.far_total <- t.far_total - page.Page.size;
+    page.Page.tier <- Page.Dram
+  end;
   t.page_counts.(class_index page.Page.cls) <-
     t.page_counts.(class_index page.Page.cls) - 1;
   (* Keep the page vector from accumulating tombstones: compact once more
@@ -197,6 +207,20 @@ let flag_hot t (page : Page.t) obj =
 let reset_mark_state t (page : Page.t) =
   t.hot_total <- t.hot_total - page.Page.hot_bytes;
   Page.reset_mark_state page
+
+let set_tier_far t (page : Page.t) =
+  if page.Page.state = Page.Freed then
+    invalid_arg "Heap.set_tier_far: page is freed";
+  if page.Page.tier <> Page.Far then begin
+    page.Page.tier <- Page.Far;
+    t.far_total <- t.far_total + page.Page.size
+  end
+
+let set_tier_dram t (page : Page.t) =
+  if page.Page.tier <> Page.Dram then begin
+    page.Page.tier <- Page.Dram;
+    t.far_total <- t.far_total - page.Page.size
+  end
 
 let pp_stats fmt t =
   Format.fprintf fmt "heap{used=%dK/%dK pages:s=%d,m=%d,l=%d}" (t.used / 1024)

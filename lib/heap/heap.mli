@@ -88,6 +88,24 @@ val flag_hot : t -> Page.t -> Heap_obj.t -> bool
 val reset_mark_state : t -> Page.t -> unit
 (** {!Page.reset_mark_state} plus running-total maintenance. *)
 
+(** {2 Far-tier accounting}
+
+    Like hot bytes, the heap keeps an O(1) running total of the page bytes
+    resident in the far tier.  Tier moves must go through these wrappers;
+    {!free_page} resets a freed page to [Dram] and deducts it from the
+    total (the collector separately drops its {!Hcsgc_memsim.Tier}
+    residency before freeing). *)
+
+val far_bytes : t -> int
+(** Sum of {!Page.t.size} over non-freed pages with [tier = Far], O(1). *)
+
+val set_tier_far : t -> Page.t -> unit
+(** Move the page to the far tier (no-op if already there).
+    @raise Invalid_argument if the page is freed. *)
+
+val set_tier_dram : t -> Page.t -> unit
+(** Move the page back to DRAM (no-op if already there). *)
+
 val fresh_obj_id : t -> int
 (** Next object identity (also used by the collector when splitting objects
     is simulated — monotone, never reused). *)

@@ -2,6 +2,8 @@ module Bitmap = Hcsgc_util.Bitmap
 
 type state = Active | In_ec | Freed
 
+type tier_loc = Dram | Far
+
 type t = {
   id : int;
   cls : Layout.size_class;
@@ -17,7 +19,9 @@ type t = {
   mutable live_bytes : int;
   mutable live_objects : int;
   mutable hot_bytes : int;
+  mutable prev_hot_bytes : int;
   mutable is_alloc_target : bool;
+  mutable tier : tier_loc;
   fwd : Fwd_table.t;
   (* Last-find memo for [find_object_exn]: [memo_obj] is the object last
      found at [memo_off] (-1 = empty).  Invalidated whenever the object
@@ -60,7 +64,9 @@ let create ~layout ~id ~cls ~start ~size ~birth_cycle =
     live_bytes = 0;
     live_objects = 0;
     hot_bytes = 0;
+    prev_hot_bytes = 0;
     is_alloc_target = false;
+    tier = Dram;
     fwd = Fwd_table.create ();
     memo_off = -1;
     memo_obj = no_obj;
@@ -113,6 +119,7 @@ let reset_mark_state t =
   Bitmap.reset t.livemap;
   t.live_bytes <- 0;
   t.live_objects <- 0;
+  t.prev_hot_bytes <- t.hot_bytes;
   t.hot_bytes <- 0;
   let prev = t.hot_prev in
   t.hot_prev <- t.hot_cur;
@@ -161,6 +168,8 @@ let state_to_string = function
   | Active -> "active"
   | In_ec -> "in-ec"
   | Freed -> "freed"
+
+let tier_to_string = function Dram -> "dram" | Far -> "far"
 
 let pp fmt t =
   Format.fprintf fmt "page#%d[%s,%s,0x%x+%dK,top=%d,live=%d,hot=%d]" t.id

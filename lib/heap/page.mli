@@ -14,6 +14,13 @@ type state =
   | In_ec  (** selected for evacuation; objects being copied out *)
   | Freed  (** address range recycled; only the forwarding table matters *)
 
+(** Which memory level the page's address range currently lives in.  Pages
+    are born [Dram]; the collector may demote a cold page to [Far] at sweep
+    and promotes it back on access.  Mutate only through [Heap.set_tier_far]
+    / [Heap.set_tier_dram] so the heap's O(1) per-tier byte totals stay in
+    sync. *)
+type tier_loc = Dram | Far
+
 type t = {
   id : int;
   cls : Layout.size_class;
@@ -29,8 +36,13 @@ type t = {
   mutable live_bytes : int;
   mutable live_objects : int;
   mutable hot_bytes : int;
+  mutable prev_hot_bytes : int;
+      (** [hot_bytes] of the previous mark epoch, snapshotted by
+          {!reset_mark_state} — the demotion policy's "was the page cold
+          last cycle too?" signal when [cold_confidence < 1]. *)
   mutable is_alloc_target : bool;
       (** currently a bump-allocation / relocation target; excluded from EC *)
+  mutable tier : tier_loc;  (** memory level of the page's address range *)
   fwd : Fwd_table.t;
   mutable memo_off : int;
       (** last-find memo offset for {!find_object_exn}; -1 = empty.
@@ -80,7 +92,8 @@ val used_bytes : t -> int
 val reset_mark_state : t -> unit
 (** Clear livemap, zero live counters, swap the hotness epoch: [hot_cur]
     becomes [hot_prev] (kept for COLDPAGE decisions under LAZYRELOCATE) and a
-    cleared map becomes current.  Called at STW1 for every page. *)
+    cleared map becomes current; [hot_bytes] is snapshotted into
+    [prev_hot_bytes] before zeroing.  Called at STW1 for every page. *)
 
 val mark_live : t -> Heap_obj.t -> bool
 (** Set the livemap bit for the object; accumulate live bytes/objects on
@@ -115,5 +128,7 @@ val cold_bytes : t -> int
 val weighted_live_bytes : t -> cold_confidence:float -> int
 (** The paper's WLB (§3.1.3): [cold] if there are no hot bytes, otherwise
     [hot + cold × (1 − cold_confidence)]. *)
+
+val tier_to_string : tier_loc -> string
 
 val pp : Format.formatter -> t -> unit

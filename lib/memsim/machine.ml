@@ -11,6 +11,7 @@ type core = {
   mutable c_l2m : int;
   mutable c_llcm : int;
   mutable c_pf : int;
+  mutable c_far : int;
 }
 
 type t = {
@@ -27,6 +28,13 @@ type t = {
   mutable llc_misses : int;
   mutable prefetches : int;
   mutable tlb_misses_ : int;
+  mutable far_loads_ : int;
+  (* Optional far-memory tier behind the LLC.  Consulted only on the
+     demand-load LLC-miss path — inline (unsharded cores / GC core) or in
+     the sequential [merge_shard] — so tiered results stay byte-identical
+     at any shard-domain count.  [None] (the default) charges [lat_mem]
+     for every LLC miss, exactly the pre-tier machine. *)
+  mutable tier : Tier.t option;
   (* Epoch sharding: cores [0 .. nshards-1] defer their traffic into
      per-shard logs instead of simulating inline ([nshards = 0] is the
      classic fully-inline machine).  See {!attach_shards}. *)
@@ -67,6 +75,7 @@ let create ?(cfg = Hierarchy.default_config) ~cores () =
             c_l2m = 0;
             c_llcm = 0;
             c_pf = 0;
+            c_far = 0;
           });
     loads = 0;
     stores = 0;
@@ -75,6 +84,8 @@ let create ?(cfg = Hierarchy.default_config) ~cores () =
     llc_misses = 0;
     prefetches = 0;
     tlb_misses_ = 0;
+    far_loads_ = 0;
+    tier = None;
     nshards = 0;
     shard_arr = [||];
   }
@@ -88,6 +99,10 @@ let attach_shards t n =
   t.shard_arr <- Array.init n (fun _ -> Shard_cache.create ())
 
 let shards t = t.nshards
+
+let set_tier t tier = t.tier <- tier
+
+let tier t = t.tier
 
 let shards_dirty t =
   let dirty = ref false in
@@ -119,6 +134,19 @@ let run_prefetcher t c line =
     done
   end
 
+(* Memory-level latency of a demand load that missed the whole cache
+   hierarchy: [lat_far] when the line is far-tier resident, else
+   [lat_mem].  (Stores never reach here for latency — they are
+   write-buffered and charged [lat_store].) *)
+let[@inline] far_or_mem t c line =
+  match t.tier with
+  | Some tier when Tier.resident tier (line * t.cfg.Hierarchy.l1.Cache.line_bytes)
+    ->
+      t.far_loads_ <- t.far_loads_ + 1;
+      c.c_far <- c.c_far + 1;
+      Tier.lat_far tier
+  | _ -> t.cfg.Hierarchy.lat_mem
+
 let demand t c line ~is_load =
   if Cache.access c.l1 line then t.cfg.Hierarchy.lat_l1
   else begin
@@ -136,9 +164,10 @@ let demand t c line ~is_load =
       else begin
         if is_load then begin
           t.llc_misses <- t.llc_misses + 1;
-          c.c_llcm <- c.c_llcm + 1
-        end;
-        t.cfg.Hierarchy.lat_mem
+          c.c_llcm <- c.c_llcm + 1;
+          far_or_mem t c line
+        end
+        else t.cfg.Hierarchy.lat_mem
       end
     end
   end
@@ -367,7 +396,6 @@ let merge_shard t ~shard:i =
   t.tlb_misses_ <- t.tlb_misses_ + s.S.d_tlbm;
   let lat = ref s.S.lat in
   let lat_llc = t.cfg.Hierarchy.lat_llc in
-  let lat_mem = t.cfg.Hierarchy.lat_mem in
   for k = 0 to s.S.llc_len - 1 do
     let e = Array.unsafe_get s.S.llc k in
     let kind = e land 3 and line = e lsr 2 in
@@ -376,7 +404,7 @@ let merge_shard t ~shard:i =
       else begin
         t.llc_misses <- t.llc_misses + 1;
         c.c_llcm <- c.c_llcm + 1;
-        lat := !lat + lat_mem
+        lat := !lat + far_or_mem t c line
       end
     end
     else if kind = S.llc_demand_store then ignore (Cache.access t.llc line)
@@ -424,6 +452,10 @@ let tlb_misses t = t.tlb_misses_
 
 let core_tlb_misses t ~core:i = (core t i).c_tlbm
 
+let far_loads t = t.far_loads_
+
+let core_far_loads t ~core:i = (core t i).c_far
+
 let reset_counters t =
   t.loads <- 0;
   t.stores <- 0;
@@ -432,6 +464,7 @@ let reset_counters t =
   t.llc_misses <- 0;
   t.prefetches <- 0;
   t.tlb_misses_ <- 0;
+  t.far_loads_ <- 0;
   Array.iter
     (fun c ->
       c.c_loads <- 0;
@@ -440,7 +473,8 @@ let reset_counters t =
       c.c_l2m <- 0;
       c.c_llcm <- 0;
       c.c_pf <- 0;
-      c.c_tlbm <- 0)
+      c.c_tlbm <- 0;
+      c.c_far <- 0)
     t.core_arr
 
 let flush t =

@@ -109,6 +109,26 @@ val tlb_misses : t -> int
 
 val core_tlb_misses : t -> core:int -> int
 
+(** {2 Far-memory tier} *)
+
+val set_tier : t -> Tier.t option -> unit
+(** Attach (or detach with [None]) a far-memory tier.  With a tier
+    attached, every demand-load LLC miss whose line falls in a resident
+    {!Tier} granule is served at [Tier.lat_far] instead of [lat_mem] and
+    counted in {!far_loads}.  Stores are unaffected (write-buffered).
+    Residency lookups happen inline on unsharded cores and during the
+    sequential {!merge_shard} on sharded ones, so tiered runs stay
+    byte-identical at any shard-domain count. *)
+
+val tier : t -> Tier.t option
+
+val far_loads : t -> int
+(** Machine-wide count of demand loads served from the far tier (a
+    subset of the LLC misses in {!counters}).  Same scope discipline as
+    {!tlb_misses}: in sharded mode, merged epochs only. *)
+
+val core_far_loads : t -> core:int -> int
+
 val reset_counters : t -> unit
 
 val flush : t -> unit

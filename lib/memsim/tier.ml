@@ -1,0 +1,79 @@
+(* A far-memory tier behind the LLC (CXL/NVM-style): a capacity-bounded
+   set of resident granules with a single flat access latency.  The tier
+   knows nothing about heap pages — residency is keyed by raw byte
+   address, granule-aligned — so the module stays below hcsgc_heap in the
+   dependency order and Machine can consult it at LLC-miss time. *)
+
+type t = {
+  granule_bytes : int;
+  capacity_bytes : int;
+  lat_far : int;
+  resident : (int, unit) Hashtbl.t;  (* granule index -> present *)
+  mutable used_bytes : int;
+  mutable peak_bytes : int;
+}
+
+let create ~granule_bytes ~capacity_bytes ~lat_far () =
+  if granule_bytes <= 0 then
+    invalid_arg "Tier.create: granule_bytes must be positive";
+  if capacity_bytes < 0 then
+    invalid_arg "Tier.create: capacity_bytes must be non-negative";
+  if capacity_bytes mod granule_bytes <> 0 then
+    invalid_arg "Tier.create: capacity must be a whole number of granules";
+  if lat_far <= 0 then invalid_arg "Tier.create: lat_far must be positive";
+  {
+    granule_bytes;
+    capacity_bytes;
+    lat_far;
+    resident = Hashtbl.create 64;
+    used_bytes = 0;
+    peak_bytes = 0;
+  }
+
+let granule_bytes t = t.granule_bytes
+let capacity_bytes t = t.capacity_bytes
+let lat_far t = t.lat_far
+let used_bytes t = t.used_bytes
+let peak_bytes t = t.peak_bytes
+
+let[@inline] resident t addr = Hashtbl.mem t.resident (addr / t.granule_bytes)
+
+let check_range name t ~addr ~bytes =
+  if addr < 0 || bytes <= 0 then
+    invalid_arg (name ^ ": range must be non-empty and non-negative");
+  if addr mod t.granule_bytes <> 0 || bytes mod t.granule_bytes <> 0 then
+    invalid_arg (name ^ ": range must be granule-aligned")
+
+let would_fit t ~bytes = t.used_bytes + bytes <= t.capacity_bytes
+
+let demote t ~addr ~bytes =
+  check_range "Tier.demote" t ~addr ~bytes;
+  if not (would_fit t ~bytes) then false
+  else begin
+    let first = addr / t.granule_bytes in
+    let last = (addr + bytes - 1) / t.granule_bytes in
+    for g = first to last do
+      if Hashtbl.mem t.resident g then
+        invalid_arg "Tier.demote: granule already resident";
+      Hashtbl.replace t.resident g ()
+    done;
+    t.used_bytes <- t.used_bytes + bytes;
+    if t.used_bytes > t.peak_bytes then t.peak_bytes <- t.used_bytes;
+    true
+  end
+
+let promote t ~addr ~bytes =
+  check_range "Tier.promote" t ~addr ~bytes;
+  let first = addr / t.granule_bytes in
+  let last = (addr + bytes - 1) / t.granule_bytes in
+  for g = first to last do
+    if not (Hashtbl.mem t.resident g) then
+      invalid_arg "Tier.promote: granule not resident";
+    Hashtbl.remove t.resident g
+  done;
+  t.used_bytes <- t.used_bytes - bytes
+
+let reset t =
+  Hashtbl.reset t.resident;
+  t.used_bytes <- 0;
+  t.peak_bytes <- 0

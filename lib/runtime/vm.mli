@@ -177,6 +177,14 @@ val ops : t -> int
 val counters : t -> Hcsgc_memsim.Hierarchy.counters
 (** Machine-wide cache counters (mutator + GC, like whole-process perf). *)
 
+val tier : t -> Hcsgc_memsim.Tier.t option
+(** The far-memory tier, when the config enables tiering
+    ([tier_capacity_pages > 0]). *)
+
+val far_loads : t -> int
+(** Machine-wide demand loads served by the far tier (0 with tiering off).
+    Flushes any pending epoch first, so the value is exact. *)
+
 val mutator_counters : t -> Hcsgc_memsim.Hierarchy.counters
 (** Counters summed over the mutator cores only (unavailable to the paper's
     methodology; used for analysis and tests). *)

@@ -1,7 +1,7 @@
 (* Bump on any semantically visible change to the simulator or to the
    metrics serialization: the token participates in every digest, so old
    cache entries become unreachable rather than stale. *)
-let code_version = "hcsgc-2026-08-pr7-v1"
+let code_version = "hcsgc-2026-08-pr8-v1"
 
 type t = string (* raw 16-byte MD5 digest *)
 

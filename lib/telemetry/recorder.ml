@@ -168,6 +168,8 @@ let on_gc_event t (e : Gc_log.event) =
         ~wall
   | Gc_log.Relocation_deferred { cycle = _; pages; wall } ->
       instant t Gc ~name:"Relocation deferred" ~args:[ ("pages", pages) ] ~wall
+  | Gc_log.Pages_demoted { cycle = _; pages; wall } ->
+      instant t Gc ~name:"Pages demoted" ~args:[ ("pages", pages) ] ~wall
   | Gc_log.Page_freed _ -> ()
   | Gc_log.Cycle_end { cycle; wall; heap_used } ->
       end_named t Gc

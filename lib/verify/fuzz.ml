@@ -22,6 +22,7 @@ type action =
   | Force_gc
   | Corrupt_color of { slot : int; field : int }
   | Corrupt_fwd of { slot : int }
+  | Corrupt_tier
 
 type failure = {
   action_index : int;
@@ -221,6 +222,17 @@ let exec st = function
       | None -> ()
       | Some page ->
           ignore (Fwd_table.claim page.Page.fwd ~offset:4 ~new_addr:0xdead0))
+  | Corrupt_tier -> (
+      (* Flip the root table's page tier bit behind the accounting: the
+         page bit, the heap far-byte total and the machine tier residency
+         set fall out of lock-step, so the sanitizer's far-sum round-trip
+         must flag it at the next phase edge. *)
+      let heap = Vm.heap st.vm in
+      match Heap.page_of_addr heap st.root.Heap_obj.addr with
+      | None -> ()
+      | Some page ->
+          page.Page.tier <-
+            (if page.Page.tier = Page.Dram then Page.Far else Page.Dram))
 
 let final_validation st =
   st.cur_m <- 0;
@@ -394,6 +406,7 @@ let pp_action fmt = function
   | Corrupt_color { slot; field } ->
       Format.fprintf fmt "Corrupt_color{slot=%d;field=%d}" slot field
   | Corrupt_fwd { slot } -> Format.fprintf fmt "Corrupt_fwd{slot=%d}" slot
+  | Corrupt_tier -> Format.fprintf fmt "Corrupt_tier"
 
 let pp_failure fmt { action_index; action; message } =
   match action with

@@ -44,6 +44,9 @@ type action =
   | Corrupt_fwd of { slot : int }
       (** fault injection: forge a dangling forwarding entry on the page
           holding the slot's object *)
+  | Corrupt_tier
+      (** fault injection: flip the root table page's far-tier bit behind
+          the byte accounting *)
 
 type failure = {
   action_index : int;  (** index into the {e executed} list *)

@@ -76,8 +76,14 @@ let check_state ctx =
 (* ------------------------------------------------------------------ *)
 
 (* A forwarding entry must name a real source slot and chase (read-only) to
-   a registered object whose size fits where the entry says it came from. *)
-let check_fwd_entry ctx (src : Page.t) ~offset ~new_addr =
+   a registered object whose size fits where the entry says it came from.
+   [allow_dead_chain] tolerates chains whose object died after relocation
+   and whose destination page was then itself relocated and freed — legal
+   on stale tables (nothing reachable routes through a dead object's
+   chain; the reachable walk separately enforces that), but corruption on
+   the in-flight cycle's tables, whose targets cannot have been freed. *)
+let check_fwd_entry ?(allow_dead_chain = false) ctx (src : Page.t) ~offset
+    ~new_addr =
   if offset < 0 || offset >= src.Page.size then
     err ctx "page #%d forwarding entry at offset %d outside the page"
       src.Page.id offset
@@ -86,9 +92,10 @@ let check_fwd_entry ctx (src : Page.t) ~offset ~new_addr =
       offset
   else
     match Oracle.resolve_ro ctx.col new_addr with
-    | Error msg ->
+    | Error e when e.Oracle.dead_chain && allow_dead_chain -> ()
+    | Error e ->
         err ctx "page #%d forwarding entry %d->0x%x dangles: %s" src.Page.id
-          offset new_addr msg
+          offset new_addr e.Oracle.msg
     | Ok obj ->
         if offset + obj.Heap_obj.size > src.Page.size then
           err ctx
@@ -248,7 +255,7 @@ let check_stale_fwd_pages ctx =
             err ctx "freed page #%d live bit %d has no forwarding entry"
               page.Page.id bit);
       Fwd_table.iter page.Page.fwd (fun ~offset ~new_addr ->
-          check_fwd_entry ctx page ~offset ~new_addr))
+          check_fwd_entry ~allow_dead_chain:true ctx page ~offset ~new_addr))
 
 (* ------------------------------------------------------------------ *)
 (* The reachable object graph                                          *)
@@ -359,12 +366,65 @@ let check_reachable ctx =
                         (Addr.color_to_string good);
                     match Oracle.resolve_ro ctx.col (Addr.addr ptr) with
                     | Ok target -> visit target
-                    | Error msg ->
+                    | Error e ->
                         err ctx "object #%d slot %d: %s" obj.Heap_obj.id slot
-                          msg
+                          e.Oracle.msg
                   end)
           obj.Heap_obj.refs
   done
+
+(* ------------------------------------------------------------------ *)
+(* Far-memory tier residency                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Tier = Hcsgc_memsim.Tier
+
+(* Page tier bits, the heap's O(1) far-byte total and the machine-level
+   Tier residency set are three views of the same state; they must agree
+   at every phase edge.  These checks run even when no Tier is attached
+   (capacity 0): a page flagged Far then is itself corruption. *)
+let check_tier ctx =
+  let heap = Collector.heap ctx.col in
+  let tier = Collector.tier ctx.col in
+  let config = Collector.config ctx.col in
+  let far_sum = ref 0 in
+  Heap.iter_pages heap (fun page ->
+      match page.Page.tier with
+      | Page.Dram -> (
+          match tier with
+          | Some t when Tier.resident t page.Page.start ->
+              err ctx "DRAM page #%d is resident in the far tier" page.Page.id
+          | _ -> ())
+      | Page.Far ->
+          far_sum := !far_sum + page.Page.size;
+          (match tier with
+          | None ->
+              err ctx "page #%d is Far but no tier is configured" page.Page.id
+          | Some t ->
+              if
+                not
+                  (Tier.resident t page.Page.start
+                  && Tier.resident t (page.Page.start + page.Page.size - 1))
+              then
+                err ctx "far page #%d is not fully tier-resident" page.Page.id);
+          if config.Config.tier_promote && page.Page.hot_bytes > 0 then
+            err ctx "far page #%d holds %d hot bytes (promotion leak)"
+              page.Page.id page.Page.hot_bytes);
+  if !far_sum <> Heap.far_bytes heap then
+    err ctx "heap reports far_bytes=%d but far pages sum to %d"
+      (Heap.far_bytes heap) !far_sum;
+  Collector.iter_stale_fwd_pages ctx.col (fun page ->
+      if page.Page.tier <> Page.Dram then
+        err ctx "freed page #%d still flagged far-resident" page.Page.id);
+  match tier with
+  | None -> ()
+  | Some t ->
+      if Tier.used_bytes t <> !far_sum then
+        err ctx "tier tracks %d resident bytes but far pages sum to %d"
+          (Tier.used_bytes t) !far_sum;
+      if Tier.used_bytes t > Tier.capacity_bytes t then
+        err ctx "tier residency %d exceeds capacity %d" (Tier.used_bytes t)
+          (Tier.capacity_bytes t)
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -375,6 +435,7 @@ let check col ~edge =
   check_state ctx;
   check_pages ctx;
   check_stale_fwd_pages ctx;
+  check_tier ctx;
   check_reachable ctx;
   if ctx.n_errors = 0 then Ok ()
   else begin

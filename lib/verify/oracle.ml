@@ -8,11 +8,15 @@ module Addr = Hcsgc_heap.Addr
    cycle, tables retired after one cycle); anything deeper is corruption. *)
 let max_chain = 8
 
+type resolve_error = { dead_chain : bool; msg : string }
+
+let corrupt msg = Error { dead_chain = false; msg }
+
 let resolve_ro c addr0 =
   let heap = Collector.heap c in
   let rec go addr depth =
     if depth > max_chain then
-      Error
+      corrupt
         (Printf.sprintf "forwarding chain from 0x%x deeper than %d hops" addr0
            max_chain)
     else
@@ -24,13 +28,23 @@ let resolve_ro c addr0 =
           with
           | Some fwd -> go fwd (depth + 1)
           | None ->
+              (* Only live-at-relocation objects get entries, so a chain
+                 can legally end here — iff the object died after the hop
+                 that created [addr].  Callers chasing pointers that must
+                 be alive (the reachable walk) treat this as corruption;
+                 callers auditing whole tables may tolerate it. *)
               Error
-                (Printf.sprintf
-                   "stale pointer 0x%x into freed page #%d has no forwarding"
-                   addr old_page.Page.id))
+                {
+                  dead_chain = true;
+                  msg =
+                    Printf.sprintf
+                      "stale pointer 0x%x into freed page #%d has no \
+                       forwarding"
+                      addr old_page.Page.id;
+                })
       | None -> (
           match Heap.page_of_addr heap addr with
-          | None -> Error (Printf.sprintf "pointer 0x%x maps to no page" addr)
+          | None -> corrupt (Printf.sprintf "pointer 0x%x maps to no page" addr)
           | Some page -> (
               let offset = addr - page.Page.start in
               match Page.find_object page ~offset with
@@ -39,7 +53,7 @@ let resolve_ro c addr0 =
                   match Hcsgc_heap.Fwd_table.find page.Page.fwd ~offset with
                   | Some fwd -> go fwd (depth + 1)
                   | None ->
-                      Error
+                      corrupt
                         (Printf.sprintf
                            "no object or forwarding at 0x%x on page #%d" addr
                            page.Page.id))))
@@ -68,10 +82,10 @@ let reachable c =
             if not (Addr.is_null ptr) then
               match resolve_ro c (Addr.addr ptr) with
               | Ok target -> visit target
-              | Error msg ->
+              | Error e ->
                   errors :=
                     Printf.sprintf "object #%d slot %d: %s" obj.Heap_obj.id
-                      slot msg
+                      slot e.msg
                     :: !errors)
           obj.Heap_obj.refs
   done;

@@ -25,7 +25,18 @@
 module Collector = Hcsgc_core.Collector
 module Heap_obj = Hcsgc_heap.Heap_obj
 
-val resolve_ro : Collector.t -> int -> (Heap_obj.t, string) result
+type resolve_error = {
+  dead_chain : bool;
+      (** The chain ended at a retired destination page with no entry for
+          it — the shape a forwarding entry legally takes when its object
+          died {e after} relocation and the destination page was itself
+          relocated and freed.  Harmless when auditing whole tables
+          (nothing reachable routes through a dead object's chain), but
+          still corruption when the pointer being chased must be alive. *)
+  msg : string;
+}
+
+val resolve_ro : Collector.t -> int -> (Heap_obj.t, resolve_error) result
 (** [resolve_ro c addr] follows forwarding chains from the uncoloured
     address [addr] to the object currently living there — the barrier slow
     path's remapping logic, minus every side effect (no relocation, no

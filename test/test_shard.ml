@@ -31,8 +31,8 @@ let layout = Layout.scaled ~small_page:(16 * 1024)
    wall cycles, GC stats, cache/TLB counters, heap samples, ... *)
 let metrics vm = Runner.metrics_to_string (Runner.collect vm)
 
-let run_experiment (exp : Runner.experiment) =
-  let vm = exp.Runner.make_vm (Config.of_id 18) in
+let run_experiment ?(config = Config.of_id 18) (exp : Runner.experiment) =
+  let vm = exp.Runner.make_vm config in
   exp.Runner.workload vm ~run:0;
   Vm.finish vm;
   metrics vm
@@ -57,6 +57,22 @@ let tradebeans_identical () =
   identical "tradebeans" (fun sd ->
       run_experiment
         (Fig_dacapo.tradebeans_experiment ~shard_domains:sd ~scale:16 ()))
+
+let tiered_identical () =
+  (* With the far tier on, demotion/promotion decisions and far-load
+     latencies enter the replayed traffic — the byte-equality contract
+     must hold for them too (run_metrics includes far_loads and the
+     demotion counters). *)
+  let config =
+    Hcsgc_experiments.Fig_tier.tier_config ~capacity:16 ~lat_far:800
+      ~promote:true
+  in
+  identical "tiered synthetic" (fun sd ->
+      run_experiment ~config
+        (Fig_synthetic.experiment ~cold_ratio:4 ~shard_domains:sd ~scale:50 ()));
+  identical "tiered h2" (fun sd ->
+      run_experiment ~config
+        (Fig_dacapo.h2_experiment ~shard_domains:sd ~scale:16 ()))
 
 let specjbb_identical () =
   (* The only paper workload with several logical mutators (handlers = 2),
@@ -184,6 +200,22 @@ let fuzz_sharded_multi_mutator () =
             Fuzz.pp_counterexample cex)
     [ 1; 2; 3 ]
 
+let fuzz_sharded_tiered () =
+  (* Same contract with the far tier active: demotion at mark end and
+     promotion from the barrier must commute with epoch sharding. *)
+  let config =
+    Hcsgc_experiments.Fig_tier.tier_config ~capacity:8 ~lat_far:800
+      ~promote:true
+  in
+  match
+    Fuzz.check_seed ~mutators:3 ~shard_domains:4 ~config ~slots:24 ~ops:1_200
+      ~seed:2 ()
+  with
+  | None -> ()
+  | Some cex ->
+      Alcotest.failf "sharded tiered seed failed:@.%a" Fuzz.pp_counterexample
+        cex
+
 let fuzz_outcome_matches_across_counts () =
   let actions =
     Array.to_list (Fuzz.generate ~seed:11 ~ops:1_000 ~slots:20)
@@ -232,6 +264,7 @@ let suite =
         case "synthetic byte-identical" `Quick synthetic_identical;
         case "h2 byte-identical" `Quick h2_identical;
         case "tradebeans byte-identical" `Quick tradebeans_identical;
+        case "tiered byte-identical" `Quick tiered_identical;
         case "specjbb byte-identical" `Quick specjbb_identical;
         case "lru byte-identical" `Quick lru_identical;
         case "multi-mutator shard ladder" `Quick multi_synthetic_ladder;
@@ -241,6 +274,7 @@ let suite =
       [
         case "verifier transparent" `Quick verifier_transparent_under_sharding;
         case "fuzz multi-mutator sharded" `Slow fuzz_sharded_multi_mutator;
+        case "fuzz sharded with far tier" `Slow fuzz_sharded_tiered;
         case "fuzz outcome across counts" `Quick
           fuzz_outcome_matches_across_counts;
       ] );

@@ -91,6 +91,36 @@ let fingerprint_sensitive_to_each_input () =
   check Alcotest.bool "display name is not hashed" true
     (Fingerprint.equal base (Runner.fingerprint ~verify:false display))
 
+let fingerprint_sensitive_to_tier_knobs () =
+  (* Each tier knob must move the content address on its own: a tiered
+     sweep may never be served a tier-free (or differently-tiered) cached
+     outcome.  Knobs are compared through the full knob-vector rendering,
+     the same path fig_tier uses. *)
+  let fp config =
+    Fingerprint.make ~experiment:tiny_experiment.Runner.key
+      ~config:(Runner.config_value_key config)
+      ~run:0 ~verify:false
+  in
+  let tiered ?(capacity = 16) ?(lat_far = 800) ?(promote = true) () =
+    Config.make ~hotness:true ~tier_capacity_pages:capacity ~lat_far
+      ~tier_promote:promote ()
+  in
+  let base = fp (tiered ()) in
+  let differs name other =
+    check Alcotest.bool name false (Fingerprint.equal base (fp other))
+  in
+  differs "capacity" (tiered ~capacity:32 ());
+  differs "tier off entirely" (Config.make ~hotness:true ());
+  differs "far latency" (tiered ~lat_far:1200 ());
+  differs "promotion" (tiered ~promote:false ());
+  (* The tier knobs sit in the rendered vector even when tiering is off,
+     so the untiered rendering is stable — pre-tier cache entries were
+     already invalidated once by the code_version bump, and must not be
+     invalidated again by incidental knob defaults. *)
+  check Alcotest.string "untiered rendering is canonical"
+    "h=false;cp=false;cc=0x0p+0;ra=false;lz=false;tc=0;lf=800;tp=true"
+    (Runner.config_value_key (Config.of_id 0))
+
 let fingerprint_no_concatenation_collisions () =
   (* Length-prefixed fields: moving a character across the field boundary
      must change the digest. *)
@@ -107,14 +137,16 @@ let arbitrary_metrics =
     QCheck.Gen.(
       let f = map (fun (m, e) -> ldexp m e) (pair (float_bound_inclusive 1.0) (int_range (-30) 30)) in
       let* wall = f and* loads = f and* l1 = f and* llc = f in
-      let* ml1 = f and* mllc = f and* ec = f in
+      let* ml1 = f and* mllc = f and* far = f and* ec = f in
       let* gc = int_bound 1000 and* rm = int_bound 10_000 and* rg = int_bound 10_000 in
+      let* pd = int_bound 10_000 and* pp = int_bound 10_000 in
       let* samples = list_size (int_bound 20) (pair (int_bound 1_000_000) (int_bound 1_000_000)) in
       return
         {
           Runner.wall; loads; l1_misses = l1; llc_misses = llc;
-          mut_l1_misses = ml1; mut_llc_misses = mllc; gc_cycle_count = gc;
-          ec_median = ec; reloc_mut = rm; reloc_gc = rg; heap_samples = samples;
+          mut_l1_misses = ml1; mut_llc_misses = mllc; far_loads = far;
+          gc_cycle_count = gc; ec_median = ec; reloc_mut = rm; reloc_gc = rg;
+          pages_demoted = pd; pages_promoted = pp; heap_samples = samples;
         })
 
 let prop_metrics_roundtrip =
@@ -432,6 +464,7 @@ let suite =
         case "knob vectors distinct; ids 0,1 share" `Quick
           fingerprint_distinguishes_knob_vectors;
         case "sensitive to every input" `Quick fingerprint_sensitive_to_each_input;
+        case "sensitive to tier knobs" `Quick fingerprint_sensitive_to_tier_knobs;
         case "length-prefixed fields" `Quick fingerprint_no_concatenation_collisions;
       ] );
     ( "store.codec",
