@@ -8,6 +8,8 @@ module Alloc_region = Hcsgc_heap.Alloc_region
 module Machine = Hcsgc_memsim.Machine
 module Tier = Hcsgc_memsim.Tier
 module Vec = Hcsgc_util.Vec
+module Int_tbl = Hcsgc_util.Int_tbl
+module Bitmap = Hcsgc_util.Bitmap
 
 type phase = Idle | Marking | Relocating
 
@@ -19,8 +21,6 @@ let phase_edge_name = function
   | Stw3_done -> "stw3-done"
   | Cycle_done -> "cycle-done"
 
-type work = { gc : int; stw : int }
-
 type who = Mutator of int | Gc
 
 exception Out_of_memory
@@ -28,13 +28,16 @@ exception Invalid_handle of string
 
 let t_cap (config : Config.t) = config.Config.tier_capacity_pages
 
-(* A page being evacuated by the GC relocation pass: the live objects
-   snapshot (from the livemap) and a cursor. *)
-type relo_cursor = {
-  relo_page : Page.t;
-  victims : Heap_obj.t array;
-  mutable next : int;
-}
+(* Bump-target identifiers for [target_bump]: an int code instead of
+   get/set closures, so picking a target allocates nothing.  Mutator
+   allocation and relocation targets are per core (the [core] argument
+   selects the slot); GC and medium targets ignore it. *)
+let tgt_mut_alloc = 0
+let tgt_mut_relo = 1
+let tgt_medium_alloc = 2
+let tgt_medium_relo = 3
+let tgt_gc_hot = 4
+let tgt_gc_cold = 5
 
 type t = {
   heap : Heap.t;
@@ -58,17 +61,36 @@ type t = {
   mutable mark_color : Addr.color;  (* the M0/M1 colour of the current cycle *)
   mutable phase : phase;
   mutable cycle_no : int;
-  (* Mark work items: an object plus the slot index scanning resumes from.
-     Large objects (e.g. big reference arrays) are traced in bounded chunks
-     so GC work interleaves with mutator progress at realistic granularity —
-     otherwise one work unit could atomically relocate everything a big
-     array points into, erasing the mutator/GC relocation race of §3.2. *)
-  mark_stack : (Heap_obj.t * int) Vec.t;
+  (* Mark work items: an object plus the slot index scanning resumes from,
+     as two parallel arenas (pushing a pair vector entry would box a tuple
+     per mark).  Large objects (e.g. big reference arrays) are traced in
+     bounded chunks so GC work interleaves with mutator progress at
+     realistic granularity — otherwise one work unit could atomically
+     relocate everything a big array points into, erasing the mutator/GC
+     relocation race of §3.2. *)
+  mark_objs : Heap_obj.t Vec.t;
+  mark_from : int Vec.t;
   relo_queue : Page.t Vec.t;  (* pages awaiting the GC relocation pass *)
-  mutable relo_cur : relo_cursor option;
+  (* The page currently being evacuated by the GC relocation pass: its
+     live-object snapshot (from the livemap) lives in the reused
+     [relo_victims] arena, [relo_next] is the cursor.  [relo_page] holds a
+     dummy page while [relo_active] is false — an option here would box a
+     [Some] per evacuated page. *)
+  mutable relo_active : bool;
+  mutable relo_page : Page.t;
+  relo_victims : Heap_obj.t Vec.t;
+  mutable relo_next : int;
   pending_ec : Page.t Vec.t;  (* LAZYRELOCATE: EC deferred to next cycle *)
-  fwd_index : (int, Page.t) Hashtbl.t;  (* granule -> freed page w/ live fwd *)
-  retire_queue : (int * Page.t) Vec.t;  (* (cycle freed, page) *)
+  (* Freed pages whose forwarding tables are still live, as parallel
+     queues ([retire_cycles.(i)] is the cycle [retire_pages.(i)] was
+     freed in), plus a flat granule -> queue-index map for stale-pointer
+     resolution.  [fwd_index] is rebuilt from the compacted queue at each
+     retirement sweep; granule ranges in the queue are disjoint (a range
+     is only recycled at retirement, so it cannot be re-freed while
+     queued), making the rebuild order-insensitive. *)
+  fwd_index : Int_tbl.t;
+  retire_cycles : int Vec.t;
+  retire_pages : Page.t Vec.t;
   (* Bump targets.  Mutator allocation and relocation pages are per core
      — array-backed so each shard core owns exactly one slot and reads
      allocate nothing (shard-safe allocation regions); GC threads keep a
@@ -79,6 +101,11 @@ type t = {
   mutable medium_relo : Page.t option;
   mutable gc_hot : Page.t option;
   mutable gc_cold : Page.t option;
+  (* [target_bump] results: destination page and address of the last
+     successful bump (written instead of returned so the relocation path
+     never boxes a tuple). *)
+  mutable bump_page : Page.t;
+  mutable bump_addr : int;
   (* COLDCONFIDENCE in effect; starts at the configured value and may be
      retuned at run time by a feedback loop (Autotuner). *)
   mutable dyn_cold_confidence : float;
@@ -95,52 +122,39 @@ type t = {
   (* Cycle cost of the most recent [load_ref] (see [last_cost] below);
      written instead of returned so the hot path never boxes a tuple. *)
   mutable last_cost : int;
+  (* Cumulative GC-thread and STW cycle totals.  [start_cycle]/[gc_work]/
+     [drain] add here instead of returning per-call records (which boxed a
+     two-field struct per pump); the VM tracks its own last-seen snapshot
+     and routes the deltas. *)
+  mutable gc_work_total : int;
+  mutable stw_work_total : int;
+  (* Scratch cost accumulator for the phase paths: [resolve] and the
+     hoisted root/selection callbacks add here.  Owned by one phase entry
+     point at a time (callers snapshot it around the call); replaces the
+     per-call [int ref] cells the phase paths used to allocate. *)
+  mutable acc_cost : int;
+  (* EC-selection arenas and parameters for the hoisted callbacks below:
+     candidate collection and filtering run through closures created once
+     at [create], parameterised via these fields per invocation. *)
+  select_cands : Page.t Vec.t;
+  demote_cands : Page.t Vec.t;
+  ec_scratch : Page.t Vec.t;  (* this cycle's EC, small then medium *)
+  mutable select_cls : Layout.size_class;
+  mutable ec_threshold : int;
+  debug_ec : bool;  (* HCSGC_DEBUG_EC=1, read once at create *)
+  mutable collect_candidate_fn : Page.t -> unit;
+  mutable ec_filter_fn : Page.t -> bool;
+  mutable ec_cmp_fn : Page.t -> Page.t -> int;
+  mutable collect_demote_fn : Page.t -> unit;
+  mutable reset_page_fn : Page.t -> unit;
+  mutable seed_root_fn : Heap_obj.t -> unit;
+  mutable fixup_root_fn : Heap_obj.t -> unit;
 }
 
-let create ?(sink = Gc_log.null_sink) ?tier ~heap ~machine ~config ~gc_core
-    ~roots () =
-  (match Config.validate config with
-  | Ok _ -> ()
-  | Error msg -> invalid_arg ("Collector.create: " ^ msg));
-  (match tier with
-  | Some _ when t_cap config = 0 ->
-      invalid_arg "Collector.create: tier supplied but tiering disabled"
-  | None when t_cap config > 0 ->
-      invalid_arg "Collector.create: tiering enabled but no tier supplied"
-  | _ -> ());
-  {
-    heap;
-    machine;
-    config;
-    tier;
-    gc_core;
-    roots;
-    stats = Gc_stats.create ();
-    sink;
-    marked_at_cycle_start = 0;
-    good = Addr.M1;
-    mark_color = Addr.M1;
-    phase = Idle;
-    cycle_no = 0;
-    mark_stack = Vec.create ();
-    relo_queue = Vec.create ();
-    relo_cur = None;
-    pending_ec = Vec.create ();
-    fwd_index = Hashtbl.create 256;
-    retire_queue = Vec.create ();
-    mut_alloc = Alloc_region.create ~cores:(Machine.cores machine) ();
-    mut_relo = Alloc_region.create ~cores:(Machine.cores machine) ();
-    medium_alloc = None;
-    medium_relo = None;
-    gc_hot = None;
-    gc_cold = None;
-    dyn_cold_confidence = config.Config.cold_confidence;
-    wall_hint = 0;
-    allocated_since_cycle = 0;
-    phase_hook = None;
-    mark_watermark = 0;
-    last_cost = 0;
-  }
+(* Placeholder for [relo_page]/[bump_page] while inactive; never read. *)
+let dummy_page layout =
+  Page.create ~layout ~id:(-1) ~cls:Layout.Small ~start:0 ~size:0
+    ~birth_cycle:0
 
 let heap t = t.heap
 let config t = t.config
@@ -165,14 +179,23 @@ let roots_list t =
 
 let last_cost t = t.last_cost
 
+let total_gc_work t = t.gc_work_total
+let total_stw_work t = t.stw_work_total
+
 let mark_watermark t = t.mark_watermark
 
 let iter_stale_fwd_pages t f =
   (* The retire queue holds each freed-but-unretired page exactly once. *)
-  Vec.iter (fun (_, page) -> f page) t.retire_queue
+  Vec.iter f t.retire_pages
 
 let stale_fwd_page_at t ~addr =
-  Hashtbl.find_opt t.fwd_index (addr / Layout.granule (layout t))
+  match
+    Int_tbl.get t.fwd_index
+      ~key:(addr / Layout.granule (layout t))
+      ~default:(-1)
+  with
+  | -1 -> None
+  | idx -> Some (Vec.get t.retire_pages idx)
 
 let who_core t who = match who with Mutator c -> c | Gc -> t.gc_core
 
@@ -204,67 +227,60 @@ let fresh_target t ~cls ~force =
 
 let retire_target (page : Page.t) = page.Page.is_alloc_target <- false
 
-(* Bump [bytes] in the target identified by [get]/[set], replacing a full
-   target page.  Returns the destination address and a page-allocation cost
-   (0 if the current target sufficed). *)
-let target_bump t ~cls ~force ~get ~set bytes =
-  let rec go cost =
-    match get () with
-    | Some page -> (
-        match Page.bump_alloc page bytes with
-        | Some offset -> Some (page, page.Page.start + offset, cost)
-        | None ->
-            retire_target page;
-            set None;
-            go cost)
-    | None -> (
-        match fresh_target t ~cls ~force with
-        | None -> None
-        | Some page ->
-            set (Some page);
-            go (cost + Cost.alloc_page))
-  in
-  go 0
+let get_target t ~which ~core =
+  if which = tgt_mut_alloc then Alloc_region.get t.mut_alloc ~core
+  else if which = tgt_mut_relo then Alloc_region.get t.mut_relo ~core
+  else if which = tgt_medium_alloc then t.medium_alloc
+  else if which = tgt_medium_relo then t.medium_relo
+  else if which = tgt_gc_hot then t.gc_hot
+  else t.gc_cold
+
+let set_target t ~which ~core p =
+  if which = tgt_mut_alloc then Alloc_region.set t.mut_alloc ~core p
+  else if which = tgt_mut_relo then Alloc_region.set t.mut_relo ~core p
+  else if which = tgt_medium_alloc then t.medium_alloc <- p
+  else if which = tgt_medium_relo then t.medium_relo <- p
+  else if which = tgt_gc_hot then t.gc_hot <- p
+  else t.gc_cold <- p
+
+let cls_of_which which =
+  if which = tgt_medium_alloc || which = tgt_medium_relo then Layout.Medium
+  else Layout.Small
+
+(* Only plain mutator/medium allocation respects the heap cap; every
+   relocation target is forced (relocation headroom). *)
+let force_of_which which = which <> tgt_mut_alloc && which <> tgt_medium_alloc
+
+(* Bump [bytes] in the target identified by [which], replacing a full
+   target page.  Returns the accumulated page-allocation cost (>= 0), or
+   -1 if the heap is exhausted; the destination lands in
+   [t.bump_page]/[t.bump_addr]. *)
+let rec target_bump t ~which ~core bytes cost =
+  match get_target t ~which ~core with
+  | Some page ->
+      let offset = Page.bump_try page bytes in
+      if offset >= 0 then begin
+        t.bump_page <- page;
+        t.bump_addr <- page.Page.start + offset;
+        cost
+      end
+      else begin
+        retire_target page;
+        set_target t ~which ~core None;
+        target_bump t ~which ~core bytes cost
+      end
+  | None -> (
+      match
+        fresh_target t ~cls:(cls_of_which which) ~force:(force_of_which which)
+      with
+      | None -> -1
+      | Some page ->
+          set_target t ~which ~core (Some page);
+          target_bump t ~which ~core bytes (cost + Cost.alloc_page))
 
 (* ------------------------------------------------------------------ *)
 (* Relocation                                                          *)
 (* ------------------------------------------------------------------ *)
-
-(* Pick the destination bump target for relocating [obj] off [src]. *)
-let relo_target t ~who ~(src : Page.t) (obj : Heap_obj.t) bytes =
-  match src.Page.cls with
-  | Layout.Medium ->
-      target_bump t ~cls:Layout.Medium ~force:true
-        ~get:(fun () -> t.medium_relo)
-        ~set:(fun p -> t.medium_relo <- p)
-        bytes
-  | Layout.Large -> assert false (* large pages are never in EC *)
-  | Layout.Small -> (
-      match who with
-      | Mutator core ->
-          target_bump t ~cls:Layout.Small ~force:true
-            ~get:(fun () -> Alloc_region.get t.mut_relo ~core)
-            ~set:(fun p -> Alloc_region.set t.mut_relo ~core p)
-            bytes
-      | Gc ->
-          (* §3.3: with COLDPAGE on, GC threads send cold objects to a
-             dedicated cold page; hot objects (and everything, when the knob
-             is off) go to the hot page. *)
-          let cold =
-            t.config.Config.coldpage
-            && t.config.Config.hotness
-            && not (Page.is_hot src obj)
-          in
-          if cold then
-            target_bump t ~cls:Layout.Small ~force:true
-              ~get:(fun () -> t.gc_cold)
-              ~set:(fun p -> t.gc_cold <- p)
-              bytes
-          else
-            target_bump t ~cls:Layout.Small ~force:true
-              ~get:(fun () -> t.gc_hot)
-              ~set:(fun p -> t.gc_hot <- p)
-              bytes)
 
 (* Copy [obj] out of the in-EC page [src].  Returns the cycle cost charged
    to [who].  The forwarding-table insertion is the linearisation point. *)
@@ -272,50 +288,58 @@ let relocate t ~who (obj : Heap_obj.t) (src : Page.t) =
   assert (src.Page.state = Page.In_ec);
   let offset = obj.Heap_obj.addr - src.Page.start in
   let bytes = obj.Heap_obj.size in
-  match relo_target t ~who ~src obj bytes with
-  | None -> raise Out_of_memory
-  | Some (dst, new_addr, page_cost) -> (
-      match Fwd_table.claim src.Page.fwd ~offset ~new_addr with
-      | Fwd_table.Already _ ->
-          (* Cannot happen in the deterministic simulator: an object still
-             registered on its source page has not been claimed. *)
-          assert false
-      | Fwd_table.Claimed ->
-          let core = who_core t who in
-          let copy_cost =
-            Machine.load_range t.machine ~core obj.Heap_obj.addr bytes
-            + Machine.store_range t.machine ~core new_addr bytes
-          in
-          Page.remove_object src obj;
-          obj.Heap_obj.addr <- new_addr;
-          obj.Heap_obj.relocations <- obj.Heap_obj.relocations + 1;
-          Page.add_object dst obj;
-          Gc_stats.on_relocate t.stats
-            ~by_mutator:(match who with Mutator _ -> true | Gc -> false)
-            ~bytes;
-          page_cost + copy_cost + Cost.relocate_fixed + Cost.fwd_insert)
+  (* Pick the destination bump target (§3.3: with COLDPAGE on, GC threads
+     send cold objects to a dedicated cold page; hot objects — and
+     everything, when the knob is off — go to the hot page). *)
+  let which =
+    match src.Page.cls with
+    | Layout.Medium -> tgt_medium_relo
+    | Layout.Large -> assert false (* large pages are never in EC *)
+    | Layout.Small -> (
+        match who with
+        | Mutator _ -> tgt_mut_relo
+        | Gc ->
+            if
+              t.config.Config.coldpage
+              && t.config.Config.hotness
+              && not (Page.is_hot src obj)
+            then tgt_gc_cold
+            else tgt_gc_hot)
+  in
+  let core = who_core t who in
+  let page_cost = target_bump t ~which ~core bytes 0 in
+  if page_cost < 0 then raise Out_of_memory;
+  let dst = t.bump_page and new_addr = t.bump_addr in
+  match Fwd_table.claim src.Page.fwd ~offset ~new_addr with
+  | Fwd_table.Already _ ->
+      (* Cannot happen in the deterministic simulator: an object still
+         registered on its source page has not been claimed. *)
+      assert false
+  | Fwd_table.Claimed ->
+      let copy_cost =
+        Machine.load_range t.machine ~core obj.Heap_obj.addr bytes
+        + Machine.store_range t.machine ~core new_addr bytes
+      in
+      Page.remove_object src obj;
+      obj.Heap_obj.addr <- new_addr;
+      obj.Heap_obj.relocations <- obj.Heap_obj.relocations + 1;
+      Page.add_object dst obj;
+      Gc_stats.on_relocate t.stats
+        ~by_mutator:(match who with Mutator _ -> true | Gc -> false)
+        ~bytes;
+      page_cost + copy_cost + Cost.relocate_fixed + Cost.fwd_insert
 
 (* ------------------------------------------------------------------ *)
 (* Resolution: coloured address -> current object                      *)
 (* ------------------------------------------------------------------ *)
 
 (* Follow forwarding chains and relocate on demand until [addr] names an
-   object at its current location.  Accumulates cost in [cost]. *)
-let rec resolve t ~who ~cost addr =
+   object at its current location.  Accumulates cost in [t.acc_cost]
+   (callers own the accumulator around the call). *)
+let rec resolve t ~who addr =
   let granule = addr / Layout.granule (layout t) in
-  match Hashtbl.find_opt t.fwd_index granule with
-  | Some old_page -> (
-      cost := !cost + Cost.fwd_lookup;
-      let offset = addr - old_page.Page.start in
-      match Fwd_table.find old_page.Page.fwd ~offset with
-      | Some new_addr -> resolve t ~who ~cost new_addr
-      | None ->
-          raise
-            (Invalid_handle
-               (Printf.sprintf
-                  "stale pointer 0x%x into freed page #%d with no forwarding"
-                  addr old_page.Page.id)))
-  | None -> (
+  match Int_tbl.get t.fwd_index ~key:granule ~default:(-1) with
+  | -1 -> (
       match Heap.page_of_addr t.heap addr with
       | None ->
           raise
@@ -325,20 +349,32 @@ let rec resolve t ~who ~cost addr =
           match Page.find_object page ~offset with
           | Some obj ->
               if page.Page.state = Page.In_ec then begin
-                cost := !cost + relocate t ~who obj page;
+                t.acc_cost <- t.acc_cost + relocate t ~who obj page;
                 obj
               end
               else obj
           | None -> (
               (* Relocated out of an in-EC page: follow its forwarding. *)
-              cost := !cost + Cost.fwd_lookup;
-              match Fwd_table.find page.Page.fwd ~offset with
-              | Some new_addr -> resolve t ~who ~cost new_addr
-              | None ->
+              t.acc_cost <- t.acc_cost + Cost.fwd_lookup;
+              match Fwd_table.get page.Page.fwd ~offset with
+              | -1 ->
                   raise
                     (Invalid_handle
                        (Printf.sprintf "no object at 0x%x on page #%d" addr
-                          page.Page.id)))))
+                          page.Page.id))
+              | new_addr -> resolve t ~who new_addr)))
+  | idx -> (
+      let old_page = Vec.unsafe_get t.retire_pages idx in
+      t.acc_cost <- t.acc_cost + Cost.fwd_lookup;
+      let offset = addr - old_page.Page.start in
+      match Fwd_table.get old_page.Page.fwd ~offset with
+      | -1 ->
+          raise
+            (Invalid_handle
+               (Printf.sprintf
+                  "stale pointer 0x%x into freed page #%d with no forwarding"
+                  addr old_page.Page.id))
+      | new_addr -> resolve t ~who new_addr)
 
 (* ------------------------------------------------------------------ *)
 (* Marking                                                             *)
@@ -360,7 +396,8 @@ let mark_object t (obj : Heap_obj.t) =
   assert (page.Page.state <> Page.In_ec);
   if Page.mark_live page obj then begin
     Gc_stats.on_mark t.stats;
-    Vec.push t.mark_stack (obj, 0);
+    Vec.push t.mark_objs obj;
+    Vec.push t.mark_from 0;
     Cost.mark_object
   end
   else 0
@@ -477,13 +514,14 @@ let load_ref t ~core (src : Heap_obj.t) ~slot =
   else begin
     (* Slow path: remap / mark / relocate, flag hotness, self-heal. *)
     Gc_stats.on_barrier t.stats ~slow:true;
-    let cost = ref (c0 + c1 + Cost.barrier_slow) in
-    let obj = resolve t ~who:(Mutator core) ~cost (Addr.addr ptr) in
-    if t.phase = Marking then cost := !cost + mark_object t obj;
-    cost := !cost + flag_hot t ~page:(page_of_obj t obj) obj;
+    t.acc_cost <- c0 + c1 + Cost.barrier_slow;
+    let obj = resolve t ~who:(Mutator core) (Addr.addr ptr) in
+    if t.phase = Marking then t.acc_cost <- t.acc_cost + mark_object t obj;
+    t.acc_cost <- t.acc_cost + flag_hot t ~page:(page_of_obj t obj) obj;
     Heap_obj.set_ref src slot (Addr.make t.good obj.Heap_obj.addr);
-    cost := !cost + Machine.store t.machine ~core (slot_addr t src slot);
-    t.last_cost <- !cost;
+    t.acc_cost <-
+      t.acc_cost + Machine.store t.machine ~core (slot_addr t src slot);
+    t.last_cost <- t.acc_cost;
     Some obj
   end
 
@@ -522,36 +560,28 @@ let alloc t ~core ~nrefs ~nwords =
       with
       | Some obj -> finish obj Cost.alloc_page
       | None -> None)
-  | Layout.Medium -> (
-      match
-        target_bump t ~cls:Layout.Medium ~force:false
-          ~get:(fun () -> t.medium_alloc)
-          ~set:(fun p -> t.medium_alloc <- p)
-          bytes
-      with
-      | None -> None
-      | Some (page, addr, page_cost) ->
-          let obj =
-            Heap_obj.create ~layout:lay ~id:(Heap.fresh_obj_id t.heap) ~addr
-              ~nrefs ~nwords
-          in
-          Page.add_object page obj;
-          finish obj page_cost)
-  | Layout.Small -> (
-      match
-        target_bump t ~cls:Layout.Small ~force:false
-          ~get:(fun () -> Alloc_region.get t.mut_alloc ~core)
-          ~set:(fun p -> Alloc_region.set t.mut_alloc ~core p)
-          bytes
-      with
-      | None -> None
-      | Some (page, addr, page_cost) ->
-          let obj =
-            Heap_obj.create ~layout:lay ~id:(Heap.fresh_obj_id t.heap) ~addr
-              ~nrefs ~nwords
-          in
-          Page.add_object page obj;
-          finish obj page_cost)
+  | Layout.Medium ->
+      let page_cost = target_bump t ~which:tgt_medium_alloc ~core bytes 0 in
+      if page_cost < 0 then None
+      else begin
+        let obj =
+          Heap_obj.create ~layout:lay ~id:(Heap.fresh_obj_id t.heap)
+            ~addr:t.bump_addr ~nrefs ~nwords
+        in
+        Page.add_object t.bump_page obj;
+        finish obj page_cost
+      end
+  | Layout.Small ->
+      let page_cost = target_bump t ~which:tgt_mut_alloc ~core bytes 0 in
+      if page_cost < 0 then None
+      else begin
+        let obj =
+          Heap_obj.create ~layout:lay ~id:(Heap.fresh_obj_id t.heap)
+            ~addr:t.bump_addr ~nrefs ~nwords
+        in
+        Page.add_object t.bump_page obj;
+        finish obj page_cost
+      end
 
 (* ------------------------------------------------------------------ *)
 (* The GC cycle                                                        *)
@@ -591,73 +621,73 @@ let start_cycle t =
   (* Reset per-page mark state (livemap, counters, hotmap epoch flip) for
      pages that will be re-marked; pages still in EC keep their snapshot —
      it drives their pending evacuation. *)
-  Heap.iter_pages t.heap (fun page ->
-      if page.Page.state = Page.Active then Heap.reset_mark_state t.heap page);
+  Heap.iter_pages t.heap t.reset_page_fn;
   (* Fig. 3: under LAZYRELOCATE the deferred relocation pass runs at the
      start of this cycle. *)
-  Vec.iter (fun page -> Vec.push t.relo_queue page) t.pending_ec;
+  for i = 0 to Vec.length t.pending_ec - 1 do
+    Vec.push t.relo_queue (Vec.unsafe_get t.pending_ec i)
+  done;
   Vec.clear t.pending_ec;
   (* Seed marking from roots.  Roots on in-EC pages are relocated first
      (the STW pause heals all roots). *)
-  let cost = ref Cost.stw_pause in
-  t.roots (fun root ->
-      cost := !cost + Cost.root_fixup;
-      let page = page_of_obj t root in
-      if page.Page.state = Page.In_ec then
-        cost := !cost + relocate t ~who:Gc root page;
-      cost := !cost + mark_object t root);
+  t.acc_cost <- Cost.stw_pause;
+  t.roots t.seed_root_fn;
   t.phase <- Marking;
   if not (Gc_log.is_null t.sink) then
     t.sink
       (Gc_log.Pause
-         { cycle = t.cycle_no; pause = Gc_log.STW1; cost = !cost;
+         { cycle = t.cycle_no; pause = Gc_log.STW1; cost = t.acc_cost;
            wall = t.wall_hint });
   sample_heap t;
   at_edge t Stw1_done;
-  { gc = 0; stw = !cost }
+  t.stw_work_total <- t.stw_work_total + t.acc_cost
 
 (* How many reference slots one GC work unit traces. *)
 let scan_chunk = 64
 
-(* Trace (a chunk of) an object popped from the mark stack. *)
+(* Trace (a chunk of) an object popped from the mark stack.  Returns the
+   chunk's cost ([t.acc_cost] is used as the accumulator — [resolve] adds
+   to it directly). *)
 let scan_object t (obj : Heap_obj.t) from_slot =
   let lay = layout t in
   let nrefs = Heap_obj.nrefs obj in
   let upto = min nrefs (from_slot + scan_chunk) in
-  let cost =
-    ref
-      (if from_slot = 0 then
-         Machine.load_range t.machine ~core:t.gc_core obj.Heap_obj.addr
-           lay.Layout.header_bytes
-       else 0)
-  in
-  if upto < nrefs then Vec.push t.mark_stack (obj, upto);
+  t.acc_cost <-
+    (if from_slot = 0 then
+       Machine.load_range t.machine ~core:t.gc_core obj.Heap_obj.addr
+         lay.Layout.header_bytes
+     else 0);
+  if upto < nrefs then begin
+    Vec.push t.mark_objs obj;
+    Vec.push t.mark_from upto
+  end;
   if upto > from_slot then
-    cost :=
-      !cost
+    t.acc_cost <-
+      t.acc_cost
       + Machine.load_range t.machine ~core:t.gc_core
           (Heap_obj.ref_slot_addr ~layout:lay obj from_slot)
           ((upto - from_slot) * lay.Layout.word_bytes);
   for slot = from_slot to upto - 1 do
-    cost := !cost + Cost.scan_slot;
+    t.acc_cost <- t.acc_cost + Cost.scan_slot;
     let ptr = Heap_obj.get_ref obj slot in
     if not (Addr.is_null ptr) then begin
       (* The R colour proves a mutator touched this pointer since STW3 of
          the previous cycle — the referent is hot (§3.1.2). *)
       let was_r = Addr.has_color Addr.R ptr in
-      let target = resolve t ~who:Gc ~cost (Addr.addr ptr) in
+      let target = resolve t ~who:Gc (Addr.addr ptr) in
       if was_r then
-        cost := !cost + flag_hot t ~page:(page_of_obj t target) target;
-      cost := !cost + mark_object t target;
+        t.acc_cost <-
+          t.acc_cost + flag_hot t ~page:(page_of_obj t target) target;
+      t.acc_cost <- t.acc_cost + mark_object t target;
       let healed = Addr.make t.good target.Heap_obj.addr in
       if healed <> ptr then begin
         Heap_obj.set_ref obj slot healed;
-        cost :=
-          !cost + Machine.store t.machine ~core:t.gc_core (slot_addr t obj slot)
+        t.acc_cost <-
+          t.acc_cost + Machine.store t.machine ~core:t.gc_core (slot_addr t obj slot)
       end
     end
   done;
-  !cost
+  t.acc_cost
 
 (* ------------------------------------------------------------------ *)
 (* EC selection (§3.1)                                                 *)
@@ -668,24 +698,26 @@ let ec_key t (page : Page.t) =
     Page.weighted_live_bytes page ~cold_confidence:t.dyn_cold_confidence
   else page.Page.live_bytes
 
-(* Select evacuation candidates among pages of [cls], marking them In_ec.
-   Returns the number selected and the selection cost. *)
+(* Select evacuation candidates among pages of [cls], marking them In_ec
+   and appending them (sparsest first) to [t.ec_scratch].  Returns the
+   number selected; the selection cost is added to [t.acc_cost]. *)
 let select_class t ~cls ~page_size =
-  let candidates = Vec.create () in
-  Heap.iter_pages t.heap (fun page ->
-      if
-        page.Page.cls = cls
-        && page.Page.state = Page.Active
-        && page.Page.birth_cycle < t.cycle_no
-        && not page.Page.is_alloc_target
-      then Vec.push candidates page);
-  let cost = ref (Vec.length candidates * Cost.ec_select_per_page) in
+  Vec.clear t.select_cands;
+  t.select_cls <- cls;
+  Heap.iter_pages t.heap t.collect_candidate_fn;
+  t.acc_cost <-
+    t.acc_cost + (Vec.length t.select_cands * Cost.ec_select_per_page);
+  (* Debug aid: HCSGC_DEBUG_EC=1 dumps per-candidate liveness/hotness and
+     the selection outcome to stderr each cycle; snapshot the candidate
+     list before filtering destroys it (debug mode may allocate). *)
+  let debug_cands =
+    if t.debug_ec && cls = Layout.Small then Vec.to_list t.select_cands
+    else []
+  in
   let relocate_all =
     cls = Layout.Small && t.config.Config.relocate_all_small_pages
   in
-  let selected = Vec.create () in
-  if relocate_all then Vec.iter (fun p -> Vec.push selected p) candidates
-  else begin
+  if not relocate_all then begin
     (* ZGC baseline, with WLB substituted for live bytes under HOTNESS +
        COLDCONFIDENCE (§3.1.3): every page whose (weighted) occupancy is
        below the 75% threshold is selected, sorted sparsest first so the
@@ -693,35 +725,32 @@ let select_class t ~cls ~page_size =
        prefix-budget formula; taken literally it would cap the relocated
        live bytes at 3/4 of a single page, which contradicts the EC sizes
        its own Fig. 4 reports, so we follow ZGC's
-       threshold-filter-selects-all behaviour — see DESIGN.md.) *)
-    let threshold = 3 * page_size / 4 in
-    let eligible =
-      Vec.to_list candidates
-      |> List.filter_map (fun p ->
-             let key = ec_key t p in
-             if key < threshold then Some (key, p) else None)
-    in
-    let sorted =
-      List.sort
-        (fun (k1, (p1 : Page.t)) (k2, (p2 : Page.t)) ->
-          match compare k1 k2 with 0 -> compare p1.Page.id p2.Page.id | c -> c)
-        eligible
-    in
-    List.iter (fun (_, page) -> Vec.push selected page) sorted
+       threshold-filter-selects-all behaviour — see DESIGN.md.)
+
+       The filter and sort run in place on the candidate arena; the
+       comparator's (key, id) order is total, so the in-place heapsort
+       yields exactly the sequence the old [List.sort] pipeline did. *)
+    t.ec_threshold <- 3 * page_size / 4;
+    Vec.retain t.ec_filter_fn t.select_cands;
+    Vec.sort t.ec_cmp_fn t.select_cands
   end;
-  Vec.iter (fun (page : Page.t) -> page.Page.state <- Page.In_ec) selected;
-  (* Debug aid: HCSGC_DEBUG_EC=1 dumps per-candidate liveness/hotness and
-     the selection outcome to stderr each cycle. *)
-  if (try Sys.getenv "HCSGC_DEBUG_EC" = "1" with Not_found -> false)
-     && cls = Layout.Small then begin
-    Printf.eprintf "cycle %d: %d candidates\n" t.cycle_no (Vec.length candidates);
-    Vec.iter (fun (p : Page.t) ->
-      Printf.eprintf "  page#%d birth=%d live=%d hot=%d key=%d sel=%b tgt=%b\n"
-        p.Page.id p.Page.birth_cycle p.Page.live_bytes p.Page.hot_bytes
-        (ec_key t p) (p.Page.state = Page.In_ec) p.Page.is_alloc_target)
-      candidates
+  let selected = Vec.length t.select_cands in
+  for i = 0 to selected - 1 do
+    let page = Vec.unsafe_get t.select_cands i in
+    page.Page.state <- Page.In_ec;
+    Vec.push t.ec_scratch page
+  done;
+  if t.debug_ec && cls = Layout.Small then begin
+    Printf.eprintf "cycle %d: %d candidates\n" t.cycle_no
+      (List.length debug_cands);
+    List.iter
+      (fun (p : Page.t) ->
+        Printf.eprintf "  page#%d birth=%d live=%d hot=%d key=%d sel=%b tgt=%b\n"
+          p.Page.id p.Page.birth_cycle p.Page.live_bytes p.Page.hot_bytes
+          (ec_key t p) (p.Page.state = Page.In_ec) p.Page.is_alloc_target)
+      debug_cands
   end;
-  (Vec.to_list selected, !cost)
+  selected
 
 (* Demote cold small pages to the far tier, capacity permitting.  Runs on
    the GC core at sweep (after EC selection, so freshly-selected In_ec
@@ -731,46 +760,79 @@ let select_class t ~cls ~page_size =
    longer cold streak before paying the migration).  Candidates are taken
    in page-id order so the choice under capacity pressure is
    deterministic. *)
+
+let page_id_cmp (a : Page.t) (b : Page.t) = compare a.Page.id b.Page.id
+
+let rec demote_loop t tier i demoted =
+  if i >= Vec.length t.demote_cands then demoted
+  else begin
+    let page = Vec.unsafe_get t.demote_cands i in
+    if Tier.would_fit tier ~bytes:page.Page.size then begin
+      let ok = Tier.demote tier ~addr:page.Page.start ~bytes:page.Page.size in
+      assert ok;
+      Heap.set_tier_far t.heap page;
+      Gc_stats.on_page_demoted t.stats;
+      t.acc_cost <- t.acc_cost + Cost.tier_demote;
+      demote_loop t tier (i + 1) (demoted + 1)
+    end
+    else demote_loop t tier (i + 1) demoted
+  end
+
+(* Demotion cost is added to [t.acc_cost]. *)
 let demote_cold_pages t tier =
-  let candidates = Vec.create () in
-  Heap.iter_pages t.heap (fun (page : Page.t) ->
-      if
-        page.Page.cls = Layout.Small
-        && page.Page.state = Page.Active
-        && page.Page.birth_cycle < t.cycle_no
-        && (not page.Page.is_alloc_target)
-        && page.Page.tier = Page.Dram
-        && page.Page.live_bytes > 0
-        && page.Page.hot_bytes = 0
-        && (t.dyn_cold_confidence >= 1.0 || page.Page.prev_hot_bytes = 0)
-      then Vec.push candidates page);
-  let pages = Vec.to_array candidates in
-  Array.sort
-    (fun (a : Page.t) (b : Page.t) -> compare a.Page.id b.Page.id)
-    pages;
-  let cost = ref 0 in
-  let demoted = ref 0 in
-  Array.iter
-    (fun (page : Page.t) ->
-      if Tier.would_fit tier ~bytes:page.Page.size then begin
-        let ok = Tier.demote tier ~addr:page.Page.start ~bytes:page.Page.size in
-        assert ok;
-        Heap.set_tier_far t.heap page;
-        Gc_stats.on_page_demoted t.stats;
-        incr demoted;
-        cost := !cost + Cost.tier_demote
-      end)
-    pages;
-  if !demoted > 0 && not (Gc_log.is_null t.sink) then
+  Vec.clear t.demote_cands;
+  Heap.iter_pages t.heap t.collect_demote_fn;
+  (* Unique page ids make this a total order: the in-place heapsort
+     agrees with the [Array.sort] it replaces. *)
+  Vec.sort page_id_cmp t.demote_cands;
+  let demoted = demote_loop t tier 0 0 in
+  if demoted > 0 && not (Gc_log.is_null t.sink) then
     t.sink
       (Gc_log.Pages_demoted
-         { cycle = t.cycle_no; pages = !demoted; wall = t.wall_hint });
-  !cost
+         { cycle = t.cycle_no; pages = demoted; wall = t.wall_hint })
+
+(* Retire forwarding tables installed before this cycle: marking has
+   remapped every live pointer into them, so their address ranges can be
+   recycled.  The queue is compacted in place and the granule index
+   rebuilt from the survivors (their granule ranges are disjoint — see
+   the [fwd_index] field note — so rebuild order is immaterial). *)
+let rec retire_compact t i j =
+  if i >= Vec.length t.retire_cycles then j
+  else begin
+    let freed_cycle = Vec.unsafe_get t.retire_cycles i in
+    let page = Vec.unsafe_get t.retire_pages i in
+    if freed_cycle < t.cycle_no then begin
+      Heap.recycle_range t.heap page;
+      retire_compact t (i + 1) j
+    end
+    else begin
+      Vec.set t.retire_cycles j freed_cycle;
+      Vec.set t.retire_pages j page;
+      retire_compact t (i + 1) (j + 1)
+    end
+  end
+
+let index_fwd_granules t (page : Page.t) idx =
+  let granule_bytes = Layout.granule (layout t) in
+  let first = page.Page.start / granule_bytes in
+  let last = (page.Page.start + page.Page.size - 1) / granule_bytes in
+  for g = first to last do
+    Int_tbl.set t.fwd_index ~key:g ~value:idx
+  done
+
+let retire_fwd_tables t =
+  let kept = retire_compact t 0 0 in
+  Vec.truncate t.retire_cycles kept;
+  Vec.truncate t.retire_pages kept;
+  Int_tbl.clear t.fwd_index;
+  for idx = 0 to kept - 1 do
+    index_fwd_granules t (Vec.unsafe_get t.retire_pages idx) idx
+  done
 
 (* STW2 + EC selection + STW3, performed when marking has drained. *)
 let finish_mark t =
   assert (t.phase = Marking);
-  assert (Vec.is_empty t.mark_stack);
+  assert (Vec.is_empty t.mark_objs);
   at_edge t Mark_done;
   Gc_stats.on_stw t.stats;
   Gc_stats.on_stw t.stats;
@@ -786,85 +848,63 @@ let finish_mark t =
              Gc_stats.objects_marked t.stats - t.marked_at_cycle_start;
            wall = t.wall_hint })
   end;
-  let cost = ref (2 * Cost.stw_pause) in
-  (* Retire forwarding tables installed before this cycle: marking has
-     remapped every live pointer into them, so their address ranges can be
-     recycled. *)
-  let keep = Vec.create () in
-  Vec.iter
-    (fun (freed_cycle, page) ->
-      if freed_cycle < t.cycle_no then begin
-        let granule_bytes = Layout.granule (layout t) in
-        let first = page.Page.start / granule_bytes in
-        let last = (page.Page.start + page.Page.size - 1) / granule_bytes in
-        for g = first to last do
-          match Hashtbl.find_opt t.fwd_index g with
-          | Some p when p == page -> Hashtbl.remove t.fwd_index g
-          | _ -> ()
-        done;
-        Heap.recycle_range t.heap page
-      end
-      else Vec.push keep (freed_cycle, page))
-    t.retire_queue;
-  Vec.clear t.retire_queue;
-  Vec.iter (fun e -> Vec.push t.retire_queue e) keep;
+  t.acc_cost <- 2 * Cost.stw_pause;
+  retire_fwd_tables t;
   (* EC selection. *)
-  let small, small_cost =
+  Vec.clear t.ec_scratch;
+  let small =
     select_class t ~cls:Layout.Small ~page_size:(layout t).Layout.small_page
   in
-  let medium, medium_cost =
+  let medium =
     select_class t ~cls:Layout.Medium ~page_size:(layout t).Layout.medium_page
   in
-  cost := !cost + small_cost + medium_cost;
-  Gc_stats.on_ec_selected t.stats ~small:(List.length small)
-    ~medium:(List.length medium);
+  Gc_stats.on_ec_selected t.stats ~small ~medium;
   if not (Gc_log.is_null t.sink) then
     t.sink
       (Gc_log.Ec_selected
-         { cycle = t.cycle_no; small = List.length small;
-           medium = List.length medium; wall = t.wall_hint });
+         { cycle = t.cycle_no; small; medium; wall = t.wall_hint });
   (* Far-tier demotion rides the same sweep, after EC selection so pages
      headed for evacuation are not pointlessly migrated first. *)
   (match t.tier with
-  | Some tier -> cost := !cost + demote_cold_pages t tier
+  | Some tier -> demote_cold_pages t tier
   | None -> ());
   (* STW3: flip good colour to R; relocate roots pointing into EC. *)
   t.good <- Addr.R;
-  t.roots (fun root ->
-      cost := !cost + Cost.root_fixup;
-      let page = page_of_obj t root in
-      if page.Page.state = Page.In_ec then
-        cost := !cost + relocate t ~who:Gc root page);
-  let ec = small @ medium in
+  t.roots t.fixup_root_fn;
   if not (Gc_log.is_null t.sink) then
     t.sink
       (Gc_log.Pause
          { cycle = t.cycle_no; pause = Gc_log.STW3; cost = Cost.stw_pause;
            wall = t.wall_hint });
-  if t.config.Config.lazy_relocate then begin
-    (* Fig. 3: hand the whole relocation set to the mutators until the next
-       cycle starts. *)
-    List.iter (fun p -> Vec.push t.pending_ec p) ec;
-    if not (Gc_log.is_null t.sink) then
-      t.sink
-        (Gc_log.Relocation_deferred
-           { cycle = t.cycle_no; pages = List.length ec; wall = t.wall_hint });
-    at_edge t Stw3_done;
-    t.phase <- Idle;
-    if not (Gc_log.is_null t.sink) then
-      t.sink
-        (Gc_log.Cycle_end
-           { cycle = t.cycle_no; wall = t.wall_hint;
-             heap_used = Heap.used_bytes t.heap });
-    sample_heap t;
-    at_edge t Cycle_done
-  end
-  else begin
-    List.iter (fun p -> Vec.push t.relo_queue p) ec;
-    t.phase <- Relocating;
-    at_edge t Stw3_done
-  end;
-  !cost
+  (if t.config.Config.lazy_relocate then begin
+     (* Fig. 3: hand the whole relocation set to the mutators until the next
+        cycle starts. *)
+     for i = 0 to Vec.length t.ec_scratch - 1 do
+       Vec.push t.pending_ec (Vec.unsafe_get t.ec_scratch i)
+     done;
+     if not (Gc_log.is_null t.sink) then
+       t.sink
+         (Gc_log.Relocation_deferred
+            { cycle = t.cycle_no; pages = Vec.length t.ec_scratch;
+              wall = t.wall_hint });
+     at_edge t Stw3_done;
+     t.phase <- Idle;
+     if not (Gc_log.is_null t.sink) then
+       t.sink
+         (Gc_log.Cycle_end
+            { cycle = t.cycle_no; wall = t.wall_hint;
+              heap_used = Heap.used_bytes t.heap });
+     sample_heap t;
+     at_edge t Cycle_done
+   end
+   else begin
+     for i = 0 to Vec.length t.ec_scratch - 1 do
+       Vec.push t.relo_queue (Vec.unsafe_get t.ec_scratch i)
+     done;
+     t.phase <- Relocating;
+     at_edge t Stw3_done
+   end);
+  t.stw_work_total <- t.stw_work_total + t.acc_cost
 
 (* Free a fully evacuated page and keep its forwarding table reachable for
    stale-pointer remapping until retirement. *)
@@ -882,78 +922,225 @@ let release_page t (page : Page.t) =
          Tier.promote tier ~addr:page.Page.start ~bytes:page.Page.size
      | None -> assert false);
   Heap.free_page t.heap page;
-  let granule_bytes = Layout.granule (layout t) in
-  let first = page.Page.start / granule_bytes in
-  let last = (page.Page.start + page.Page.size - 1) / granule_bytes in
-  for g = first to last do
-    Hashtbl.replace t.fwd_index g page
-  done;
-  Vec.push t.retire_queue (t.cycle_no, page);
+  Vec.push t.retire_cycles t.cycle_no;
+  Vec.push t.retire_pages page;
+  index_fwd_granules t page (Vec.length t.retire_pages - 1);
   Gc_stats.on_page_freed t.stats
 
-(* One GC relocation step: evacuate the next live object of the current
-   page, or finish the page.  Returns (cost, made_progress). *)
-let relo_step t =
-  match t.relo_cur with
-  | None -> (
-      match Vec.pop t.relo_queue with
-      | None -> (0, false)
-      | Some page ->
-          let victims = Vec.create () in
-          Page.iter_live page (fun obj -> Vec.push victims obj);
-          t.relo_cur <-
-            Some { relo_page = page; victims = Vec.to_array victims; next = 0 };
-          (Cost.fwd_lookup, true))
-  | Some cur ->
-      if cur.next >= Array.length cur.victims then begin
-        release_page t cur.relo_page;
-        t.relo_cur <- None;
-        (Cost.fwd_lookup, true)
-      end
-      else begin
-        let obj = cur.victims.(cur.next) in
-        cur.next <- cur.next + 1;
-        (* The mutator may have beaten us to it (the relocation race). *)
-        if Page.contains cur.relo_page obj.Heap_obj.addr then
-          (relocate t ~who:Gc obj cur.relo_page, true)
-        else (Cost.fwd_lookup, true)
-      end
+(* Fill the victim arena with the live objects of [page], in livemap
+   (address) order — the same order [Page.iter_live] yields, via an
+   allocation-free bit cursor. *)
+let rec collect_victims t (page : Page.t) bit =
+  let bit = Bitmap.next_set page.Page.livemap bit in
+  if bit >= 0 then begin
+    (match Page.find_object_exn page ~offset:(bit * 8) with
+    | obj -> Vec.push t.relo_victims obj
+    | exception Not_found -> ());
+    collect_victims t page (bit + 1)
+  end
 
-let gc_work t ~budget =
-  let gc = ref 0 and stw = ref 0 in
-  let continue_ = ref true in
-  while !continue_ && !gc < budget do
-    (* Relocation first (Fig. 3: a cycle starts by releasing memory). *)
-    let cost, progressed = relo_step t in
-    gc := !gc + cost;
-    if progressed then ()
+(* One GC relocation step: evacuate the next live object of the current
+   page, or finish the page.  Returns the step's cost, or -1 when there is
+   no relocation work. *)
+
+let relo_step t =
+  if not t.relo_active then
+    if Vec.is_empty t.relo_queue then -1
     else begin
+      let page = Vec.pop_last t.relo_queue in
+      Vec.clear t.relo_victims;
+      collect_victims t page 0;
+      t.relo_page <- page;
+      t.relo_next <- 0;
+      t.relo_active <- true;
+      Cost.fwd_lookup
+    end
+  else if t.relo_next >= Vec.length t.relo_victims then begin
+    release_page t t.relo_page;
+    t.relo_active <- false;
+    Cost.fwd_lookup
+  end
+  else begin
+    let obj = Vec.unsafe_get t.relo_victims t.relo_next in
+    t.relo_next <- t.relo_next + 1;
+    (* The mutator may have beaten us to it (the relocation race). *)
+    if Page.contains t.relo_page obj.Heap_obj.addr then
+      relocate t ~who:Gc obj t.relo_page
+    else Cost.fwd_lookup
+  end
+
+let end_cycle t =
+  t.phase <- Idle;
+  if not (Gc_log.is_null t.sink) then
+    t.sink
+      (Gc_log.Cycle_end
+         { cycle = t.cycle_no; wall = t.wall_hint;
+           heap_used = Heap.used_bytes t.heap });
+  sample_heap t;
+  at_edge t Cycle_done
+
+(* The budgeted GC-work loop, as a tail recursion over the accumulated
+   concurrent cost (a [while] with refs would allocate the refs per
+   pump).  STW costs (finish_mark) land in [stw_work_total] and do not
+   consume the concurrent budget, exactly as before. *)
+let rec gc_loop t ~budget gc_acc =
+  if gc_acc >= budget then gc_acc
+  else begin
+    (* Relocation first (Fig. 3: a cycle starts by releasing memory). *)
+    let cost = relo_step t in
+    if cost >= 0 then gc_loop t ~budget (gc_acc + cost)
+    else
       match t.phase with
-      | Marking -> (
-          match Vec.pop t.mark_stack with
-          | Some (obj, from_slot) -> gc := !gc + scan_object t obj from_slot
-          | None -> stw := !stw + finish_mark t)
+      | Marking ->
+          if Vec.is_empty t.mark_objs then begin
+            finish_mark t;
+            gc_loop t ~budget gc_acc
+          end
+          else begin
+            let obj = Vec.pop_last t.mark_objs in
+            let from_slot = Vec.pop_last t.mark_from in
+            gc_loop t ~budget (gc_acc + scan_object t obj from_slot)
+          end
       | Relocating ->
           (* Queue drained and no page in progress: the cycle is done. *)
-          t.phase <- Idle;
-          if not (Gc_log.is_null t.sink) then
-            t.sink
-              (Gc_log.Cycle_end
-                 { cycle = t.cycle_no; wall = t.wall_hint;
-                   heap_used = Heap.used_bytes t.heap });
-          sample_heap t;
-          at_edge t Cycle_done;
-          continue_ := false
-      | Idle -> continue_ := false
-    end
-  done;
-  { gc = !gc; stw = !stw }
+          end_cycle t;
+          gc_acc
+      | Idle -> gc_acc
+  end
+
+let gc_work t ~budget =
+  t.gc_work_total <- t.gc_work_total + gc_loop t ~budget 0
 
 let in_cycle t = t.phase <> Idle
 
 let pending_relocation_pages t =
   Vec.length t.pending_ec + Vec.length t.relo_queue
-  + (match t.relo_cur with Some _ -> 1 | None -> 0)
+  + (if t.relo_active then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
+(* Hoisted per-phase callbacks (built once at [create])                 *)
+(* ------------------------------------------------------------------ *)
+
+let init_callbacks t =
+  t.reset_page_fn <-
+    (fun page ->
+      if page.Page.state = Page.Active then Heap.reset_mark_state t.heap page);
+  t.seed_root_fn <-
+    (fun root ->
+      t.acc_cost <- t.acc_cost + Cost.root_fixup;
+      let page = page_of_obj t root in
+      if page.Page.state = Page.In_ec then
+        t.acc_cost <- t.acc_cost + relocate t ~who:Gc root page;
+      t.acc_cost <- t.acc_cost + mark_object t root);
+  t.fixup_root_fn <-
+    (fun root ->
+      t.acc_cost <- t.acc_cost + Cost.root_fixup;
+      let page = page_of_obj t root in
+      if page.Page.state = Page.In_ec then
+        t.acc_cost <- t.acc_cost + relocate t ~who:Gc root page);
+  t.collect_candidate_fn <-
+    (fun page ->
+      if
+        page.Page.cls = t.select_cls
+        && page.Page.state = Page.Active
+        && page.Page.birth_cycle < t.cycle_no
+        && not page.Page.is_alloc_target
+      then Vec.push t.select_cands page);
+  t.ec_filter_fn <- (fun page -> ec_key t page < t.ec_threshold);
+  t.ec_cmp_fn <-
+    (fun p1 p2 ->
+      match compare (ec_key t p1) (ec_key t p2) with
+      | 0 -> compare p1.Page.id p2.Page.id
+      | c -> c);
+  t.collect_demote_fn <-
+    (fun page ->
+      if
+        page.Page.cls = Layout.Small
+        && page.Page.state = Page.Active
+        && page.Page.birth_cycle < t.cycle_no
+        && (not page.Page.is_alloc_target)
+        && page.Page.tier = Page.Dram
+        && page.Page.live_bytes > 0
+        && page.Page.hot_bytes = 0
+        && (t.dyn_cold_confidence >= 1.0 || page.Page.prev_hot_bytes = 0)
+      then Vec.push t.demote_cands page)
+
+let create ?(sink = Gc_log.null_sink) ?tier ~heap ~machine ~config ~gc_core
+    ~roots () =
+  (match Config.validate config with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Collector.create: " ^ msg));
+  (match tier with
+  | Some _ when t_cap config = 0 ->
+      invalid_arg "Collector.create: tier supplied but tiering disabled"
+  | None when t_cap config > 0 ->
+      invalid_arg "Collector.create: tiering enabled but no tier supplied"
+  | _ -> ());
+  let dummy = dummy_page (Heap.layout heap) in
+  let t =
+    {
+      heap;
+      machine;
+      config;
+      tier;
+      gc_core;
+      roots;
+      stats = Gc_stats.create ();
+      sink;
+      marked_at_cycle_start = 0;
+      good = Addr.M1;
+      mark_color = Addr.M1;
+      phase = Idle;
+      cycle_no = 0;
+      mark_objs = Vec.create ();
+      mark_from = Vec.create ();
+      relo_queue = Vec.create ();
+      relo_active = false;
+      relo_page = dummy;
+      relo_victims = Vec.create ();
+      relo_next = 0;
+      pending_ec = Vec.create ();
+      fwd_index = Int_tbl.create ~capacity:256 ();
+      retire_cycles = Vec.create ();
+      retire_pages = Vec.create ();
+      mut_alloc = Alloc_region.create ~cores:(Machine.cores machine) ();
+      mut_relo = Alloc_region.create ~cores:(Machine.cores machine) ();
+      medium_alloc = None;
+      medium_relo = None;
+      gc_hot = None;
+      gc_cold = None;
+      bump_page = dummy;
+      bump_addr = 0;
+      dyn_cold_confidence = config.Config.cold_confidence;
+      wall_hint = 0;
+      allocated_since_cycle = 0;
+      phase_hook = None;
+      mark_watermark = 0;
+      last_cost = 0;
+      gc_work_total = 0;
+      stw_work_total = 0;
+      acc_cost = 0;
+      select_cands = Vec.create ();
+      demote_cands = Vec.create ();
+      ec_scratch = Vec.create ();
+      select_cls = Layout.Small;
+      ec_threshold = 0;
+      debug_ec =
+        (try Sys.getenv "HCSGC_DEBUG_EC" = "1" with Not_found -> false);
+      collect_candidate_fn = ignore;
+      ec_filter_fn = (fun _ -> false);
+      ec_cmp_fn = (fun _ _ -> 0);
+      collect_demote_fn = ignore;
+      reset_page_fn = ignore;
+      seed_root_fn = ignore;
+      fixup_root_fn = ignore;
+    }
+  in
+  (* The per-phase callbacks are built once here and reused every cycle;
+     their per-invocation parameters travel through the scratch fields
+     above, so the phase paths never construct a closure. *)
+  init_callbacks t;
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Invariant verification (tests & debugging)                          *)
@@ -983,18 +1170,28 @@ let verify t =
   if !used <> Heap.used_bytes t.heap then
     err "used_bytes accounting: pages sum to %d, heap reports %d" !used
       (Heap.used_bytes t.heap);
-  (* Forwarding-index granules must be unmapped until retirement. *)
-  Hashtbl.iter
-    (fun granule (_ : Page.t) ->
-      match Heap.page_of_addr t.heap (granule * granule_bytes) with
+  (* Forwarding-index granules must be unmapped until retirement, and
+     must point at their queued page. *)
+  Int_tbl.iter t.fwd_index (fun granule idx ->
+      (match Heap.page_of_addr t.heap (granule * granule_bytes) with
       | Some p ->
           err "fwd-index granule %d still mapped to live page #%d" granule
             p.Page.id
-      | None -> ())
-    t.fwd_index;
+      | None -> ());
+      if idx < 0 || idx >= Vec.length t.retire_pages then
+        err "fwd-index granule %d points at retired slot %d (of %d)" granule
+          idx
+          (Vec.length t.retire_pages));
   (* Reachability: every ref slot of every reachable object must resolve to
      a registered object, possibly through forwarding. *)
   let seen = Hashtbl.create 1024 in
+  let stale_page_at addr =
+    match Int_tbl.get t.fwd_index ~key:(addr / granule_bytes) ~default:(-1) with
+    | -1 -> None
+    | idx when idx >= 0 && idx < Vec.length t.retire_pages ->
+        Some (Vec.get t.retire_pages idx)
+    | _ -> None
+  in
   let rec trace (obj : Heap_obj.t) =
     if not (Hashtbl.mem seen obj.Heap_obj.id) then begin
       Hashtbl.add seen obj.Heap_obj.id ();
@@ -1011,7 +1208,7 @@ let verify t =
                 err "forwarding chain too deep from object #%d slot %d"
                   obj.Heap_obj.id slot
               else
-                match Hashtbl.find_opt t.fwd_index (addr / granule_bytes) with
+                match stale_page_at addr with
                 | Some old_page -> (
                     match
                       Fwd_table.find old_page.Page.fwd
@@ -1057,19 +1254,12 @@ let drain t =
      garbage.  Deliberately bounded: under RELOCATEALLSMALLPAGES + LAZY
      every cycle ends with a fresh pending set, so "drain until nothing is
      pending" would never terminate. *)
-  let gc = ref 0 and stw = ref 0 in
-  let absorb (w : work) =
-    gc := !gc + w.gc;
-    stw := !stw + w.stw
-  in
-  let finish_cycle () =
-    while in_cycle t do
-      absorb (gc_work t ~budget:max_int)
-    done
-  in
-  finish_cycle ();
+  while in_cycle t do
+    gc_work t ~budget:max_int
+  done;
   if pending_relocation_pages t > 0 then begin
-    absorb (start_cycle t);
-    finish_cycle ()
-  end;
-  { gc = !gc; stw = !stw }
+    start_cycle t;
+    while in_cycle t do
+      gc_work t ~budget:max_int
+    done
+  end

@@ -33,11 +33,6 @@ type phase =
   | Marking  (** between STW1 and STW2 *)
   | Relocating  (** between STW3 and the end of the RE pass *)
 
-type work = {
-  gc : int;  (** cycles of concurrent GC-thread work *)
-  stw : int;  (** cycles of stop-the-world pauses (always hit wall time) *)
-}
-
 exception Out_of_memory
 exception Invalid_handle of string
 (** Raised when a workload uses a handle to an object the collector has
@@ -181,24 +176,36 @@ val needs_cycle : t -> trigger:float -> bool
     since the last cycle started (the deterministic stand-in for ZGC's
     allocation-rate pacing) or heap usage passed a high-water backstop. *)
 
-val start_cycle : t -> work
+val start_cycle : t -> unit
 (** Perform STW1: flip the mark colour, reset per-page mark state, seed the
     mark stack from roots, and (under LAZYRELOCATE) enqueue the previous
-    cycle's pending relocation set.
+    cycle's pending relocation set.  The pause's cost lands in
+    {!total_stw_work}.
     @raise Invalid_argument if a cycle is in progress. *)
 
-val gc_work : t -> budget:int -> work
+val gc_work : t -> budget:int -> unit
 (** Run GC-thread work (relocation first — Fig. 3 — then marking) for up to
     [budget] cycles; performs the STW2 / EC-selection / STW3 transition and
     the end-of-cycle transition when work runs out.  Idempotent when there is
-    nothing to do. *)
+    nothing to do.  Concurrent work accumulates in {!total_gc_work}, pause
+    work in {!total_stw_work}. *)
 
-val drain : t -> work
+val drain : t -> unit
 (** Complete the in-flight cycle; if a LAZYRELOCATE evacuation set is still
     pending afterwards, run one more full cycle so its leading RE pass
     releases the floating garbage.  Bounded by design — under
     RELOCATEALLSMALLPAGES + LAZY every cycle ends with a fresh pending set,
     so an unbounded drain would not terminate. *)
+
+val total_gc_work : t -> int
+(** Cumulative cycles of concurrent GC-thread work since creation.  The
+    driving VM snapshots this (and {!total_stw_work}) around each pump and
+    charges the delta — cumulative counters instead of per-call work
+    records, so driving the collector allocates nothing on the host. *)
+
+val total_stw_work : t -> int
+(** Cumulative cycles of stop-the-world pause work since creation (STW
+    pauses always hit wall time). *)
 
 val in_cycle : t -> bool
 

@@ -7,8 +7,15 @@ type cycle_record = {
   wall_at_start : int;
 }
 
+(* Per-cycle and per-sample history is kept in parallel int vectors
+   (cycle number = index + 1) rather than vectors of records/tuples:
+   recording on the GC phase paths then allocates nothing — int array
+   stores only.  The vectors are pre-reserved so steady-state runs never
+   even grow them; accessors materialise records on demand. *)
 type t = {
-  records : cycle_record Vec.t;
+  rec_small : int Vec.t;  (* small_pages_in_ec, per cycle *)
+  rec_medium : int Vec.t;  (* medium_pages_in_ec, per cycle *)
+  rec_wall : int Vec.t;  (* wall_at_start, per cycle *)
   mutable allocated : int;
   mutable relocated_mutator : int;
   mutable relocated_gc : int;
@@ -21,12 +28,20 @@ type t = {
   mutable barrier_slow : int;
   mutable pages_demoted : int;
   mutable pages_promoted : int;
-  samples : (int * int) Vec.t;
+  sample_wall : int Vec.t;
+  sample_used : int Vec.t;
 }
+
+let reserved n =
+  let v = Vec.make n 0 in
+  Vec.clear v;
+  v
 
 let create () =
   {
-    records = Vec.create ();
+    rec_small = reserved 1024;
+    rec_medium = reserved 1024;
+    rec_wall = reserved 1024;
     allocated = 0;
     relocated_mutator = 0;
     relocated_gc = 0;
@@ -39,21 +54,21 @@ let create () =
     barrier_slow = 0;
     pages_demoted = 0;
     pages_promoted = 0;
-    samples = Vec.create ();
+    sample_wall = reserved 4096;
+    sample_used = reserved 4096;
   }
 
 let on_cycle_start t ~wall =
-  let cycle = Vec.length t.records + 1 in
-  Vec.push t.records
-    { cycle; small_pages_in_ec = 0; medium_pages_in_ec = 0; wall_at_start = wall };
-  cycle
+  Vec.push t.rec_small 0;
+  Vec.push t.rec_medium 0;
+  Vec.push t.rec_wall wall;
+  Vec.length t.rec_wall
 
 let on_ec_selected t ~small ~medium =
-  let n = Vec.length t.records in
+  let n = Vec.length t.rec_wall in
   if n = 0 then invalid_arg "Gc_stats.on_ec_selected: no cycle in progress";
-  let r = Vec.get t.records (n - 1) in
-  Vec.set t.records (n - 1)
-    { r with small_pages_in_ec = small; medium_pages_in_ec = medium }
+  Vec.set t.rec_small (n - 1) small;
+  Vec.set t.rec_medium (n - 1) medium
 
 let on_alloc t ~bytes = t.allocated <- t.allocated + bytes
 
@@ -70,19 +85,29 @@ let on_stw t = t.stw <- t.stw + 1
 let on_barrier t ~slow =
   if slow then t.barrier_slow <- t.barrier_slow + 1
   else t.barrier_fast <- t.barrier_fast + 1
-let on_heap_sample t ~wall ~used = Vec.push t.samples (wall, used)
+
+let on_heap_sample t ~wall ~used =
+  Vec.push t.sample_wall wall;
+  Vec.push t.sample_used used
+
 let on_page_demoted t = t.pages_demoted <- t.pages_demoted + 1
 let on_page_promoted t = t.pages_promoted <- t.pages_promoted + 1
 
-let cycles t = Vec.length t.records
-let cycle_records t = Vec.to_list t.records
+let cycles t = Vec.length t.rec_wall
+
+let cycle_records t =
+  List.init (Vec.length t.rec_wall) (fun i ->
+      {
+        cycle = i + 1;
+        small_pages_in_ec = Vec.get t.rec_small i;
+        medium_pages_in_ec = Vec.get t.rec_medium i;
+        wall_at_start = Vec.get t.rec_wall i;
+      })
 
 let median_small_pages_in_ec t =
-  if Vec.is_empty t.records then 0.0
+  if Vec.is_empty t.rec_small then 0.0
   else begin
-    let xs =
-      Vec.to_array t.records |> Array.map (fun r -> r.small_pages_in_ec)
-    in
+    let xs = Vec.to_array t.rec_small in
     Array.sort compare xs;
     let n = Array.length xs in
     if n mod 2 = 1 then float_of_int xs.(n / 2)
@@ -102,7 +127,10 @@ let barrier_fast_paths t = t.barrier_fast
 let barrier_slow_paths t = t.barrier_slow
 let pages_demoted t = t.pages_demoted
 let pages_promoted t = t.pages_promoted
-let heap_samples t = Vec.to_list t.samples
+
+let heap_samples t =
+  List.init (Vec.length t.sample_wall) (fun i ->
+      (Vec.get t.sample_wall i, Vec.get t.sample_used i))
 
 let pp fmt t =
   Format.fprintf fmt

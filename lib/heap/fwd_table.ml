@@ -1,18 +1,27 @@
-type t = (int, int) Hashtbl.t
+module Int_tbl = Hcsgc_util.Int_tbl
+
+type t = Int_tbl.t
 
 type claim_result = Claimed | Already of int
 
-let create () = Hashtbl.create 64
+(* Offsets and addresses are both non-negative, so Int_tbl's -1
+   sentinel is unambiguous on both sides of the binding. *)
+let create () = Int_tbl.create ~capacity:16 ()
 
 let claim t ~offset ~new_addr =
-  match Hashtbl.find_opt t offset with
-  | Some existing -> Already existing
-  | None ->
-      Hashtbl.add t offset new_addr;
-      Claimed
+  match Int_tbl.add_if_absent t ~key:offset ~value:new_addr with
+  | -1 -> Claimed
+  | existing -> Already existing
 
-let find t ~offset = Hashtbl.find_opt t offset
+let get t ~offset = Int_tbl.get t ~key:offset ~default:(-1)
 
-let entries t = Hashtbl.length t
+let find t ~offset =
+  match Int_tbl.get t ~key:offset ~default:(-1) with
+  | -1 -> None
+  | new_addr -> Some new_addr
 
-let iter t f = Hashtbl.iter (fun offset new_addr -> f ~offset ~new_addr) t
+let entries t = Int_tbl.length t
+
+let clear t = Int_tbl.clear t
+
+let iter t f = Int_tbl.iter t (fun offset new_addr -> f ~offset ~new_addr)

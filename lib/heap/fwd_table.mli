@@ -5,7 +5,11 @@
     here.  In ZGC the insertion is a CAS and is the linearisation point of
     the relocation race; in the deterministic simulator [claim] plays that
     role — the first claimant wins, later claimants are told the existing
-    address and must discard their copy. *)
+    address and must discard their copy.
+
+    Backed by a flat open-addressed {!Hcsgc_util.Int_tbl} (offsets and
+    addresses are non-negative ints), so claims and lookups on the GC
+    phase paths allocate nothing. *)
 
 type t
 
@@ -22,7 +26,18 @@ val claim : t -> offset:int -> new_addr:int -> claim_result
 val find : t -> offset:int -> int option
 (** The forwarded address of the object at [offset], if relocated. *)
 
+val get : t -> offset:int -> int
+(** {!find} without the option box: the forwarded address, or -1 if the
+    object has not been relocated.  The barrier/GC resolution paths use
+    this form so a forwarding lookup allocates nothing. *)
+
 val entries : t -> int
 (** Number of forwardings installed. *)
 
+val clear : t -> unit
+(** Drop every forwarding, keeping the backing store — table reuse
+    across cycles allocates nothing once at high-water capacity. *)
+
 val iter : t -> (offset:int -> new_addr:int -> unit) -> unit
+(** Iterate the installed forwardings (slot order — deterministic for a
+    given insertion history, not sorted). *)

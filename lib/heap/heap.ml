@@ -1,6 +1,7 @@
 module Vec = Hcsgc_util.Vec
 
-type free_range = { granule : int; ngranules : int }
+(* Mutable so first-fit splitting can shrink a range in place. *)
+type free_range = { mutable granule : int; mutable ngranules : int }
 
 type t = {
   layout : Layout.t;
@@ -8,7 +9,12 @@ type t = {
   mutable next_granule : int;  (* next never-used granule; granule 0 reserved *)
   free_small : int Vec.t;  (* granule indices of freed small pages *)
   free_medium : int Vec.t;  (* first granule of freed medium pages *)
-  mutable free_large : free_range list;  (* freed large ranges, first-fit *)
+  (* Freed large ranges, first-fit.  Kept in reverse recycling order
+     (push appends; the fit scan walks from the end), which reproduces
+     the allocation decisions of the cons-list representation this
+     replaces — newest range tried first — without per-recycle list
+     surgery. *)
+  free_large : free_range Vec.t;
   mutable used : int;
   max_bytes : int;
   pages : Page.t Vec.t;  (* all non-freed pages (compacted lazily) *)
@@ -20,6 +26,10 @@ type t = {
      epoch resets go through {!flag_hot}/{!reset_mark_state} below), and
      [page_counts] counts non-freed pages per size class. *)
   mutable hot_total : int;
+  (* Number of [Freed] tombstones currently in [pages]; maintained by
+     {!free_page}/{!compact_pages} so the compaction trigger never folds
+     over the page vector. *)
+  mutable freed_tombstones : int;
   (* Sum of [Page.size] over non-freed pages whose [Page.tier] is [Far];
      maintained by {!set_tier_far}/{!set_tier_dram}/{!free_page} so the
      far-memory footprint is O(1) to sample, like [hot_total]. *)
@@ -37,13 +47,14 @@ let create ?(layout = Layout.paper) ~max_bytes () =
     next_granule = 1;
     free_small = Vec.create ();
     free_medium = Vec.create ();
-    free_large = [];
+    free_large = Vec.create ();
     used = 0;
     max_bytes;
     pages = Vec.create ();
     next_page_id = 0;
     next_obj_id = 0;
     hot_total = 0;
+    freed_tombstones = 0;
     far_total = 0;
     page_counts = Array.make 3 0;
   }
@@ -71,6 +82,32 @@ let fresh_obj_id t =
 
 let obj_ids_issued t = t.next_obj_id
 
+(* Order-preserving removal at index [i] (the survivors shift left). *)
+let vec_remove_at vec i =
+  for j = i to Vec.length vec - 2 do
+    Vec.set vec j (Vec.get vec (j + 1))
+  done;
+  Vec.truncate vec (Vec.length vec - 1)
+
+(* First-fit over the recycled large ranges, scanning newest-first (from
+   the end — see [free_large] above).  A larger range is split in place;
+   an exact fit is removed.  Returns the start granule, or -1. *)
+let rec fit_large free_large ngranules i =
+  if i < 0 then -1
+  else begin
+    let r = Vec.unsafe_get free_large i in
+    if r.ngranules >= ngranules then begin
+      let g = r.granule in
+      if r.ngranules > ngranules then begin
+        r.granule <- g + ngranules;
+        r.ngranules <- r.ngranules - ngranules
+      end
+      else vec_remove_at free_large i;
+      g
+    end
+    else fit_large free_large ngranules (i - 1)
+  end
+
 (* Find a start granule for [ngranules] contiguous granules. *)
 let take_granules t ~cls ~ngranules =
   match (cls : Layout.size_class) with
@@ -89,26 +126,12 @@ let take_granules t ~cls ~ngranules =
           t.next_granule <- g + ngranules;
           g)
   | Large -> (
-      (* First-fit over recycled large ranges; split leftovers. *)
-      let rec fit acc = function
-        | [] -> None
-        | r :: rest when r.ngranules >= ngranules ->
-            let leftover =
-              if r.ngranules > ngranules then
-                [ { granule = r.granule + ngranules;
-                    ngranules = r.ngranules - ngranules } ]
-              else []
-            in
-            t.free_large <- List.rev_append acc (leftover @ rest);
-            Some r.granule
-        | r :: rest -> fit (r :: acc) rest
-      in
-      match fit [] t.free_large with
-      | Some g -> g
-      | None ->
+      match fit_large t.free_large ngranules (Vec.length t.free_large - 1) with
+      | -1 ->
           let g = t.next_granule in
           t.next_granule <- g + ngranules;
-          g)
+          g
+      | g -> g)
 
 let alloc_page ?(force = false) t ~cls ~bytes ~birth_cycle =
   let size = Layout.page_bytes_for t.layout cls bytes in
@@ -127,10 +150,12 @@ let alloc_page ?(force = false) t ~cls ~bytes ~birth_cycle =
     Some page
   end
 
+let page_live (p : Page.t) = p.Page.state <> Page.Freed
+
 let compact_pages t =
-  let live = Vec.to_list t.pages |> List.filter (fun p -> p.Page.state <> Page.Freed) in
-  Vec.clear t.pages;
-  List.iter (Vec.push t.pages) live
+  (* In-place, order-preserving sweep of the tombstones. *)
+  Vec.retain page_live t.pages;
+  t.freed_tombstones <- 0
 
 let free_page t (page : Page.t) =
   if page.Page.state = Page.Freed then
@@ -147,14 +172,11 @@ let free_page t (page : Page.t) =
     t.page_counts.(class_index page.Page.cls) - 1;
   (* Keep the page vector from accumulating tombstones: compact once more
      than half of a reasonably large vector is freed pages. *)
-  if Vec.length t.pages > 256 then begin
-    let freed =
-      Vec.fold_left
-        (fun n p -> if p.Page.state = Page.Freed then n + 1 else n)
-        0 t.pages
-    in
-    if 2 * freed > Vec.length t.pages then compact_pages t
-  end
+  t.freed_tombstones <- t.freed_tombstones + 1;
+  if
+    Vec.length t.pages > 256
+    && 2 * t.freed_tombstones > Vec.length t.pages
+  then compact_pages t
 
 let recycle_range t (page : Page.t) =
   if page.Page.state <> Page.Freed then
@@ -164,7 +186,7 @@ let recycle_range t (page : Page.t) =
   match page.Page.cls with
   | Layout.Small -> Vec.push t.free_small g
   | Layout.Medium -> Vec.push t.free_medium g
-  | Layout.Large -> t.free_large <- { granule = g; ngranules } :: t.free_large
+  | Layout.Large -> Vec.push t.free_large { granule = g; ngranules }
 
 let alloc_object_in t (page : Page.t) ~nrefs ~nwords =
   let size = Layout.object_bytes t.layout ~nrefs ~nwords in
@@ -195,7 +217,13 @@ let obj_at t addr =
   | Some page -> Page.find_object page ~offset:(Page.offset_of_addr page addr)
 
 let iter_pages t f =
-  Vec.iter (fun p -> if p.Page.state <> Page.Freed then f p) t.pages
+  (* Index loop rather than [Vec.iter] with a wrapper closure: called
+     once per page-filtering pass of every GC cycle, and the wrapper
+     would allocate per call. *)
+  for i = 0 to Vec.length t.pages - 1 do
+    let p = Vec.unsafe_get t.pages i in
+    if p.Page.state <> Page.Freed then f p
+  done
 
 let page_count t cls = t.page_counts.(class_index cls)
 

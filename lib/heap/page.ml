@@ -80,6 +80,17 @@ let bump_alloc t bytes =
     Some offset
   end
 
+(* [bump_alloc] without the option box: -1 means "does not fit".  The
+   collector's bump-target path uses this so a steady-state allocation
+   touches no host heap. *)
+let bump_try t bytes =
+  if t.top + bytes > t.size then -1
+  else begin
+    let offset = t.top in
+    t.top <- t.top + bytes;
+    offset
+  end
+
 let offset_of_addr t addr =
   if addr < t.start || addr >= t.start + t.size then
     invalid_arg "Page.offset_of_addr: address outside page";

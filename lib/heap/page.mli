@@ -63,6 +63,11 @@ val bump_alloc : t -> int -> int option
 (** [bump_alloc t bytes] reserves [bytes] (already aligned) and returns the
     byte offset, or [None] if the page is full. *)
 
+val bump_try : t -> int -> int
+(** {!bump_alloc} without the option box: the byte offset, or -1 if the
+    page is full.  The collector's bump-target path uses this so a
+    steady-state allocation touches no host heap. *)
+
 val add_object : t -> Heap_obj.t -> unit
 (** Register an object whose [addr] lies within this page. *)
 

@@ -26,14 +26,19 @@ let ensure t n =
     Vec.push t.slots None
   done
 
-let granules_of_page t (page : Page.t) =
-  let first = granule_of_addr t page.Page.start in
-  let last = granule_of_addr t (page.Page.start + page.Page.size - 1) in
-  (first, last)
+(* First/last granule of a page's range, as two functions rather than one
+   returning a pair: [unregister] runs on the GC sweep path, where a boxed
+   pair per freed page was the last host allocation of a steady-state
+   cycle. *)
+let[@inline] first_granule t (page : Page.t) = granule_of_addr t page.Page.start
+
+let[@inline] last_granule t (page : Page.t) =
+  granule_of_addr t (page.Page.start + page.Page.size - 1)
 
 let register t page =
   t.last_g <- min_int;
-  let first, last = granules_of_page t page in
+  let first = first_granule t page
+  and last = last_granule t page in
   ensure t last;
   for g = first to last do
     Vec.set t.slots g (Some page)
@@ -41,7 +46,8 @@ let register t page =
 
 let unregister t page =
   t.last_g <- min_int;
-  let first, last = granules_of_page t page in
+  let first = first_granule t page
+  and last = last_granule t page in
   ensure t last;
   for g = first to last do
     (* Only clear entries that still point at this page; the range may have

@@ -55,6 +55,12 @@ type t = {
   mut_clock : int array;  (* per-mutator simulated cycles *)
   mutable gc_cycles_ : int;
   mutable stw_cycles_ : int;
+  (* Last-seen snapshots of the collector's cumulative work counters
+     ([Collector.total_gc_work]/[total_stw_work]).  Absorption charges the
+     delta since the previous snapshot — the collector no longer returns
+     per-call work records, so driving it allocates nothing on the host. *)
+  mutable seen_gc : int;
+  mutable seen_stw : int;
   mutable credit : int;  (* mutator cycles since the last GC pump *)
   mutable op_count : int;
   (* Feedback loop (§4.8): observe the mutator miss rate once per GC cycle
@@ -159,6 +165,8 @@ let create ?layout ?machine_config ?(saturated = false) ?(gc_share = 1.0)
     mut_clock = Array.make mutators 0;
     gc_cycles_ = 0;
     stw_cycles_ = 0;
+    seen_gc = 0;
+    seen_stw = 0;
     credit = 0;
     op_count = 0;
     shard_domains;
@@ -221,9 +229,25 @@ let wall_cycles t =
   flush_epoch t;
   mutator_cycles_max t + t.stw_cycles_ + if t.saturated then t.gc_cycles_ else 0
 
-let absorb_work t (w : Collector.work) =
-  t.gc_cycles_ <- t.gc_cycles_ + w.Collector.gc;
-  t.stw_cycles_ <- t.stw_cycles_ + w.Collector.stw
+(* Route the collector work performed since the last absorption: normally
+   concurrent work accrues to the GC clock and pauses to the STW clock... *)
+let absorb_work t =
+  let gc = Collector.total_gc_work t.collector in
+  let stw = Collector.total_stw_work t.collector in
+  t.gc_cycles_ <- t.gc_cycles_ + (gc - t.seen_gc);
+  t.stw_cycles_ <- t.stw_cycles_ + (stw - t.seen_stw);
+  t.seen_gc <- gc;
+  t.seen_stw <- stw
+
+(* ... but work done while a mutator is blocked on an allocation stall (or
+   an explicit full GC) hits wall time wholesale: both deltas land on the
+   STW clock, as with ZGC's allocation stalls. *)
+let absorb_as_stall t =
+  let gc = Collector.total_gc_work t.collector in
+  let stw = Collector.total_stw_work t.collector in
+  t.stw_cycles_ <- t.stw_cycles_ + (gc - t.seen_gc) + (stw - t.seen_stw);
+  t.seen_gc <- gc;
+  t.seen_stw <- stw
 
 (* The §4.8 feedback loop: at each new GC cycle, feed the epoch's mutator
    miss rate to the tuner and apply its COLDCONFIDENCE. *)
@@ -256,11 +280,14 @@ let take_sample t =
   | None -> ()
   | Some r ->
       let module H = Hcsgc_memsim.Hierarchy in
+      (* Flush before reading any counter: record fields evaluate in
+         unspecified order, and [far_loads] must see the merged epoch. *)
+      let wall = wall_cycles t in
       let c = Machine.counters t.machine in
       let st = Collector.stats t.collector in
       Recorder.sample r
         {
-          Recorder.wall = wall_cycles t;
+          Recorder.wall;
           heap_used = Heap.used_bytes t.heap;
           hot_bytes = Heap.hot_bytes t.heap;
           loads = c.H.loads;
@@ -273,6 +300,7 @@ let take_sample t =
           reloc_mutator = Gc_stats.objects_relocated_by_mutator st;
           reloc_gc = Gc_stats.objects_relocated_by_gc st;
           reloc_bytes = Gc_stats.bytes_relocated st;
+          far_loads = Machine.far_loads t.machine;
         }
 
 let maybe_sample t =
@@ -293,9 +321,10 @@ let pump t =
   t.credit <- 0;
   Collector.set_wall_hint t.collector (wall_cycles t);
   if Collector.needs_cycle t.collector ~trigger:t.trigger then
-    absorb_work t (Collector.start_cycle t.collector);
+    Collector.start_cycle t.collector;
   if Collector.in_cycle t.collector then
-    absorb_work t (Collector.gc_work t.collector ~budget);
+    Collector.gc_work t.collector ~budget;
+  absorb_work t;
   autotune_step t;
   maybe_sample t
 
@@ -324,20 +353,20 @@ let alloc ?(m = 0) t ~nrefs ~nwords =
       charge ~m t cost;
       obj
   | None ->
-      let charge_stall (w : Collector.work) =
-        t.stw_cycles_ <- t.stw_cycles_ + w.Collector.gc + w.Collector.stw
-      in
       let rec stall_loop started_extra_cycle =
         Collector.set_wall_hint t.collector (wall_cycles t);
         if
           Collector.in_cycle t.collector
           || Collector.pending_relocation_pages t.collector > 0
         then begin
-          if not (Collector.in_cycle t.collector) then
+          if not (Collector.in_cycle t.collector) then begin
             (* Pending lazy relocation while idle: start the next cycle so
                its leading RE pass can release the floating garbage. *)
-            charge_stall (Collector.start_cycle t.collector);
-          charge_stall (Collector.gc_work t.collector ~budget:stall_chunk);
+            Collector.start_cycle t.collector;
+            absorb_as_stall t
+          end;
+          Collector.gc_work t.collector ~budget:stall_chunk;
+          absorb_as_stall t;
           match try_alloc () with
           | Some (obj, cost) ->
               charge ~m t cost;
@@ -347,7 +376,8 @@ let alloc ?(m = 0) t ~nrefs ~nwords =
         else if not started_extra_cycle then begin
           (* Idle with nothing pending: one full extra cycle is the last
              resort before declaring the heap exhausted. *)
-          charge_stall (Collector.start_cycle t.collector);
+          Collector.start_cycle t.collector;
+          absorb_as_stall t;
           stall_loop true
         end
         else raise Collector.Out_of_memory
@@ -527,8 +557,10 @@ let config t = Collector.config t.collector
 
 let finish t =
   Collector.set_wall_hint t.collector (wall_cycles t);
-  if Collector.in_cycle t.collector then
-    absorb_work t (Collector.gc_work t.collector ~budget:max_int);
+  if Collector.in_cycle t.collector then begin
+    Collector.gc_work t.collector ~budget:max_int;
+    absorb_work t
+  end;
   (match t.telemetry with
   | None -> ()
   | Some r ->
@@ -543,12 +575,10 @@ let finish t =
       t.pool <- None
 
 let full_gc t =
-  let charge (w : Collector.work) =
-    t.stw_cycles_ <- t.stw_cycles_ + w.Collector.gc + w.Collector.stw
-  in
   for _ = 1 to 2 do
     Collector.set_wall_hint t.collector (wall_cycles t);
     if not (Collector.in_cycle t.collector) then
-      charge (Collector.start_cycle t.collector);
-    charge (Collector.drain t.collector)
+      Collector.start_cycle t.collector;
+    Collector.drain t.collector;
+    absorb_as_stall t
   done

@@ -1,17 +1,17 @@
 let header =
   "wall,heap_used,hot_bytes,loads,stores,l1_misses,l2_misses,llc_misses,\
-   barrier_fast,barrier_slow,reloc_mutator,reloc_gc,reloc_bytes"
+   barrier_fast,barrier_slow,reloc_mutator,reloc_gc,reloc_bytes,far_loads"
 
 let write fmt r =
   Format.fprintf fmt "%s@\n" header;
   List.iter
     (fun (s : Recorder.sample) ->
-      Format.fprintf fmt "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d@\n"
+      Format.fprintf fmt "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d@\n"
         s.Recorder.wall s.Recorder.heap_used s.Recorder.hot_bytes
         s.Recorder.loads s.Recorder.stores s.Recorder.l1_misses
         s.Recorder.l2_misses s.Recorder.llc_misses s.Recorder.barrier_fast
         s.Recorder.barrier_slow s.Recorder.reloc_mutator s.Recorder.reloc_gc
-        s.Recorder.reloc_bytes)
+        s.Recorder.reloc_bytes s.Recorder.far_loads)
     (Recorder.samples r)
 
 let to_string r =

@@ -27,6 +27,7 @@ type sample = {
   reloc_mutator : int;
   reloc_gc : int;
   reloc_bytes : int;
+  far_loads : int;
 }
 
 type open_span = {

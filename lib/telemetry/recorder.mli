@@ -52,6 +52,9 @@ type sample = {
   reloc_mutator : int;  (** objects relocated by mutator threads *)
   reloc_gc : int;
   reloc_bytes : int;
+  far_loads : int;
+      (** LLC misses served from the far tier (0 when tiering is off) —
+          the per-tier miss time series of the far-memory experiments *)
 }
 
 type t

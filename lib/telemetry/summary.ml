@@ -89,7 +89,8 @@ let write fmt r =
         s.Recorder.l2_misses s.Recorder.llc_misses;
       Format.fprintf fmt "barrier fast=%d slow=%d; relocated mutator=%d gc=%d (%d bytes)@\n"
         s.Recorder.barrier_fast s.Recorder.barrier_slow s.Recorder.reloc_mutator
-        s.Recorder.reloc_gc s.Recorder.reloc_bytes)
+        s.Recorder.reloc_gc s.Recorder.reloc_bytes;
+      Format.fprintf fmt "far_loads=%d@\n" s.Recorder.far_loads)
 
 (* Result-store counters, rendered here so every surface (bench sweep
    footers, profile summaries) prints cache activity the same way.  Takes

@@ -68,6 +68,32 @@ let iter_set t f =
       done
   done
 
+(* First set bit at index >= i within byte [b] (whose value is [v]),
+   else recurse into the following bytes.  Tail-recursive with int-only
+   state so [next_set] scans without allocating. *)
+let rec next_in_byte t b v bit =
+  if bit > 7 then next_from_byte t (b + 1)
+  else if v land (1 lsl bit) <> 0 then
+    let i = (b lsl 3) lor bit in
+    if i < t.length then i else -1
+  else next_in_byte t b v (bit + 1)
+
+and next_from_byte t b =
+  if b >= Bytes.length t.bits then -1
+  else
+    let v = Char.code (Bytes.unsafe_get t.bits b) in
+    if v = 0 then next_from_byte t (b + 1) else next_in_byte t b v 0
+
+let next_set t i =
+  if i < 0 then invalid_arg "Bitmap.next_set: negative index";
+  if i >= t.length then -1
+  else
+    let b = i lsr 3 in
+    let v = Char.code (Bytes.unsafe_get t.bits b) in
+    let masked = v land lnot ((1 lsl (i land 7)) - 1) in
+    if masked <> 0 then next_in_byte t b masked (i land 7)
+    else next_from_byte t (b + 1)
+
 let fold_set t ~init ~f =
   let acc = ref init in
   iter_set t (fun i -> acc := f !acc i);

@@ -37,5 +37,11 @@ val pop_count : t -> int
 val iter_set : t -> (int -> unit) -> unit
 (** [iter_set t f] applies [f] to the index of every set bit, ascending. *)
 
+val next_set : t -> int -> int
+(** [next_set t i] is the index of the first set bit at or after [i], or
+    -1 if there is none.  Allocation-free — the cursor form of
+    {!iter_set} for callers that cannot afford a closure per scan.
+    @raise Invalid_argument if [i < 0]. *)
+
 val fold_set : t -> init:'a -> f:('a -> int -> 'a) -> 'a
 (** Fold over set-bit indices, ascending. *)

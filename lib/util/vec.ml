@@ -43,7 +43,16 @@ let pop t =
     Some (Array.unsafe_get t.data t.len)
   end
 
+let pop_last t =
+  if t.len = 0 then invalid_arg "Vec.pop_last: empty";
+  t.len <- t.len - 1;
+  Array.unsafe_get t.data t.len
+
 let clear t = t.len <- 0
+
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Vec.truncate: bad length";
+  t.len <- n
 
 let remove t x =
   (* Compact the survivors leftwards in one pass; relative order is
@@ -88,7 +97,52 @@ let of_list xs =
   List.iter (push t) xs;
   t
 
+(* In-place bottom-up heapsort over the live prefix: O(n log n), no
+   scratch array, no allocation.  Not stable — callers that need a
+   deterministic result (EC selection does) must supply a total order,
+   under which every sort agrees with [List.sort] anyway. *)
+let rec sift_down data cmp root len =
+  let child = (2 * root) + 1 in
+  if child < len then begin
+    let child =
+      if
+        child + 1 < len
+        && cmp (Array.unsafe_get data child) (Array.unsafe_get data (child + 1))
+           < 0
+      then child + 1
+      else child
+    in
+    if cmp (Array.unsafe_get data root) (Array.unsafe_get data child) < 0
+    then begin
+      let tmp = Array.unsafe_get data root in
+      Array.unsafe_set data root (Array.unsafe_get data child);
+      Array.unsafe_set data child tmp;
+      sift_down data cmp child len
+    end
+  end
+
 let sort cmp t =
-  let a = to_array t in
-  Array.sort cmp a;
-  Array.blit a 0 t.data 0 t.len
+  let data = t.data in
+  for root = (t.len / 2) - 1 downto 0 do
+    sift_down data cmp root t.len
+  done;
+  for last = t.len - 1 downto 1 do
+    let tmp = Array.unsafe_get data 0 in
+    Array.unsafe_set data 0 (Array.unsafe_get data last);
+    Array.unsafe_set data last tmp;
+    sift_down data cmp 0 last
+  done
+
+(* [remove] generalised to a predicate: keep the elements satisfying
+   [p], compacting leftwards in one order-preserving pass. *)
+let rec retain_loop data p i j len =
+  if i >= len then j
+  else
+    let v = Array.unsafe_get data i in
+    if p v then begin
+      if j < i then Array.unsafe_set data j v;
+      retain_loop data p (i + 1) (j + 1) len
+    end
+    else retain_loop data p (i + 1) j len
+
+let retain p t = t.len <- retain_loop t.data p 0 0 t.len

@@ -31,13 +31,27 @@ val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a option
 (** Remove and return the last element, or [None] if empty. *)
 
+val pop_last : 'a t -> 'a
+(** [pop] without the option box — for allocation-free work-list loops;
+    callers check {!is_empty} first.
+    @raise Invalid_argument if empty. *)
+
 val clear : 'a t -> unit
 (** Logical reset to length 0; capacity is retained. *)
+
+val truncate : 'a t -> int -> unit
+(** [truncate t n] drops all but the first [n] elements (capacity is
+    retained).  @raise Invalid_argument unless [0 <= n <= length t]. *)
 
 val remove : 'a t -> 'a -> unit
 (** [remove t x] deletes every element physically equal ([==]) to [x],
     in place, preserving the relative order of the survivors.  O(length),
     allocation-free. *)
+
+val retain : ('a -> bool) -> 'a t -> unit
+(** [retain p t] keeps exactly the elements satisfying [p], in place,
+    preserving their relative order — the predicate form of {!remove}.
+    O(length), allocation-free. *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
@@ -47,4 +61,6 @@ val to_list : 'a t -> 'a list
 val to_array : 'a t -> 'a array
 val of_list : 'a list -> 'a t
 val sort : ('a -> 'a -> int) -> 'a t -> unit
-(** In-place sort of the live prefix. *)
+(** In-place, allocation-free heapsort of the live prefix.  Not stable:
+    callers needing a deterministic result must supply a total order (under
+    which the outcome equals [List.sort]'s). *)

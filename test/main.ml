@@ -13,4 +13,5 @@ let () =
    @ Test_lru.suite @ Test_keydist.suite @ Test_serve.suite @ Test_trace.suite
    @ Test_misc.suite
    @ Test_fuzz.suite @ Test_verify.suite @ Test_tier.suite
-   @ Test_hotpath.suite)
+   @ Test_hotpath.suite
+   @ Test_gccycle.suite)

@@ -463,6 +463,108 @@ let prop_heap_pages_disjoint =
       in
       disjoint !ranges)
 
+(* ------------------------------------------------------------------ *)
+(* Large-range free list: in-place first-fit splitting                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The recycled-large-range list is scanned newest-first with first-fit;
+   a larger range is split in place (remainder keeps its slot), an exact
+   fit is removed.  These pin the allocation addresses, which is what the
+   byte-identity of large-object workloads rests on. *)
+let heap_large_first_fit_newest () =
+  let h = Heap.create ~layout:test_layout ~max_bytes:(64 * 1024 * 1024) () in
+  let g = Layout.granule test_layout in
+  let alloc ngranules =
+    Option.get
+      (Heap.alloc_page h ~cls:Layout.Large ~bytes:(ngranules * g)
+         ~birth_cycle:0)
+  in
+  let a = alloc 4 in
+  let b = alloc 2 in
+  let c = alloc 3 in
+  let free p =
+    Heap.free_page h p;
+    Heap.recycle_range h p
+  in
+  (* Recycle B then A: the list holds [B; A] with A newest. *)
+  free b;
+  free a;
+  (* First-fit newest-first: a 2-granule request splits A in place. *)
+  let p1 = alloc 2 in
+  check Alcotest.int "reuses newest range (A) first" a.Page.start p1.Page.start;
+  (* The remainder of A is still newest; exact fit removes it. *)
+  let p2 = alloc 2 in
+  check Alcotest.int "then A's remainder" (a.Page.start + (2 * g))
+    p2.Page.start;
+  (* Only B remains; exact fit. *)
+  let p3 = alloc 2 in
+  check Alcotest.int "then the older range (B)" b.Page.start p3.Page.start;
+  (* The list is empty: a fresh request extends the address space. *)
+  let p4 = alloc 1 in
+  check Alcotest.bool "fresh extension past C" true
+    (p4.Page.start >= c.Page.start + (3 * g))
+
+let heap_large_skips_too_small () =
+  let h = Heap.create ~layout:test_layout ~max_bytes:(64 * 1024 * 1024) () in
+  let g = Layout.granule test_layout in
+  let alloc ngranules =
+    Option.get
+      (Heap.alloc_page h ~cls:Layout.Large ~bytes:(ngranules * g)
+         ~birth_cycle:0)
+  in
+  let a = alloc 5 in
+  let b = alloc 1 in
+  Heap.free_page h a;
+  Heap.recycle_range h a;
+  Heap.free_page h b;
+  Heap.recycle_range h b;
+  (* Newest (B, 1 granule) is too small: first-fit falls through to A. *)
+  let p = alloc 3 in
+  check Alcotest.int "skips too-small newest range" a.Page.start p.Page.start;
+  let q = alloc 1 in
+  check Alcotest.int "exact fit still served newest-first" b.Page.start
+    q.Page.start
+
+(* ------------------------------------------------------------------ *)
+(* Page-vector compaction: iteration order survives tombstone sweeps   *)
+(* ------------------------------------------------------------------ *)
+
+(* [Heap.free_page] compacts the page vector in place once enough freed
+   tombstones accumulate.  EC selection iterates pages in this vector's
+   order, so the sweep must preserve the relative order of live pages —
+   a reordering here would silently change every figure. *)
+let heap_compaction_preserves_page_order () =
+  let h = Heap.create ~layout:test_layout ~max_bytes:(1024 * 1024 * 1024) () in
+  let g = Layout.granule test_layout in
+  let pages =
+    Array.init 400 (fun _ ->
+        Option.get
+          (Heap.alloc_page h ~cls:Layout.Small ~bytes:g ~birth_cycle:0))
+  in
+  (* Free enough to cross the compaction trigger (> 256 entries, more
+     than half tombstones), in a scattered pattern. *)
+  Array.iteri
+    (fun i p -> if i mod 3 <> 1 then Heap.free_page h p)
+    pages;
+  let survivors = ref [] in
+  Heap.iter_pages h (fun p -> survivors := p.Page.id :: !survivors);
+  let expected =
+    Array.to_list pages
+    |> List.filteri (fun i _ -> i mod 3 = 1)
+    |> List.map (fun (p : Page.t) -> p.Page.id)
+  in
+  check (Alcotest.list Alcotest.int) "survivors in creation order" expected
+    (List.rev !survivors);
+  (* Pages allocated after the sweep append after the survivors. *)
+  let extra =
+    Option.get (Heap.alloc_page h ~cls:Layout.Small ~bytes:g ~birth_cycle:1)
+  in
+  let after = ref [] in
+  Heap.iter_pages h (fun p -> after := p.Page.id :: !after);
+  check (Alcotest.list Alcotest.int) "new page appends at the end"
+    (expected @ [ extra.Page.id ])
+    (List.rev !after)
+
 let suite =
   [
     ( "heap.addr",
@@ -519,6 +621,10 @@ let suite =
         case "objects fill page" `Quick heap_object_fills_page;
         case "large object" `Quick heap_large_object;
         case "ids monotone" `Quick heap_ids_monotone;
+        case "large first-fit newest" `Quick heap_large_first_fit_newest;
+        case "large skips too-small" `Quick heap_large_skips_too_small;
+        case "compaction keeps page order" `Quick
+          heap_compaction_preserves_page_order;
         QCheck_alcotest.to_alcotest prop_heap_pages_disjoint;
         QCheck_alcotest.to_alcotest prop_object_bytes_aligned;
         QCheck_alcotest.to_alcotest prop_addr_retint_idempotent;

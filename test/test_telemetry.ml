@@ -11,6 +11,7 @@ module Csv_export = Hcsgc_telemetry.Csv_export
 module Summary = Hcsgc_telemetry.Summary
 module Runner = Hcsgc_experiments.Runner
 module Fig_synthetic = Hcsgc_experiments.Fig_synthetic
+module Fig_tier = Hcsgc_experiments.Fig_tier
 module Pool = Hcsgc_exec.Pool
 module Vm = Hcsgc_runtime.Vm
 module Gc_log = Hcsgc_core.Gc_log
@@ -189,6 +190,7 @@ let sample0 =
     reloc_mutator = 0;
     reloc_gc = 0;
     reloc_bytes = 0;
+    far_loads = 0;
   }
 
 (* A tiny but representative synthetic job: GC cycles, lazy relocation
@@ -603,6 +605,66 @@ let attribution_of_real_run () =
         (u >= 0.0 && u <= 1.0))
     [ 1; 1_000; 10_000; 100_000; 1_000_000 ]
 
+(* ------------------------------------------------------------------ *)
+(* Per-tier miss time series: far_loads on the sample cadence           *)
+(* ------------------------------------------------------------------ *)
+
+(* Each heap sample carries the cumulative far-tier load counter, so the
+   far-memory experiments get their miss traffic over time on the same
+   cadence as heap usage.  A tiered cold-heavy run must produce a
+   non-decreasing series that ends at the VM's final counter; an
+   untiered run pins the column to zero. *)
+let far_loads_series_tiered () =
+  let exp = Fig_synthetic.experiment ~cold_ratio:4 ~scale:25 () in
+  let vm =
+    exp.Runner.make_vm (Fig_tier.tier_config ~capacity:16 ~lat_far:800
+                          ~promote:true)
+  in
+  let recorder = Vm.enable_telemetry ~sample_interval:20_000 vm in
+  exp.Runner.workload vm ~run:0;
+  Vm.finish vm;
+  let samples = Recorder.samples recorder in
+  check Alcotest.bool "several samples" true (List.length samples > 1);
+  let last = ref 0 in
+  List.iter
+    (fun (s : Recorder.sample) ->
+      check Alcotest.bool "far_loads non-decreasing" true
+        (s.Recorder.far_loads >= !last);
+      last := s.Recorder.far_loads)
+    samples;
+  check Alcotest.bool "series reaches a positive count" true (!last > 0);
+  check Alcotest.bool "bounded by the VM's final counter" true
+    (!last <= Vm.far_loads vm);
+  (* The series survives export: the CSV carries the column and the
+     final row ends with the last sample's counter. *)
+  let csv = Csv_export.to_string recorder in
+  let lines =
+    String.split_on_char '\n' (String.trim csv)
+    |> List.filter (fun l -> l <> "")
+  in
+  let header = List.hd lines in
+  check Alcotest.bool "header has far_loads column" true
+    (let n = String.length header in
+     n >= 10 && String.sub header (n - 9) 9 = "far_loads");
+  let last_row = List.nth lines (List.length lines - 1) in
+  let last_field =
+    match List.rev (String.split_on_char ',' last_row) with
+    | f :: _ -> f
+    | [] -> Alcotest.fail "empty CSV row"
+  in
+  check Alcotest.string "last row carries the final sample's far_loads"
+    (string_of_int !last) last_field
+
+let far_loads_series_untiered () =
+  let _, recorder = Runner.profile ~sample_interval:20_000 (small_job ()) in
+  let samples = Recorder.samples recorder in
+  check Alcotest.bool "several samples" true (List.length samples > 1);
+  List.iter
+    (fun (s : Recorder.sample) ->
+      check Alcotest.int "far_loads zero without a tier" 0
+        s.Recorder.far_loads)
+    samples
+
 let suite =
   [
     ( "telemetry.recorder",
@@ -627,6 +689,8 @@ let suite =
         case "chrome trace shape" `Quick chrome_trace_shape_of_real_run;
         case "csv rows" `Quick csv_row_per_sample;
         case "summary content" `Quick summary_mentions_everything;
+        case "far_loads series (tiered)" `Quick far_loads_series_tiered;
+        case "far_loads series (untiered)" `Quick far_loads_series_untiered;
       ] );
     ( "telemetry.system",
       [

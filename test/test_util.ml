@@ -3,6 +3,7 @@
 module Rng = Hcsgc_util.Rng
 module Bitmap = Hcsgc_util.Bitmap
 module Vec = Hcsgc_util.Vec
+module Int_tbl = Hcsgc_util.Int_tbl
 
 let check = Alcotest.check
 let case = Alcotest.test_case
@@ -354,6 +355,231 @@ let prop_vec_clear_then_push =
       List.iter (Vec.push v) ys;
       Vec.to_list v = ys)
 
+(* ------------------------------------------------------------------ *)
+(* Vec: in-place sort / retain / arena ops (the GC-phase arenas)       *)
+(* ------------------------------------------------------------------ *)
+
+let vec_pop_last () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  check Alcotest.int "pop_last" 3 (Vec.pop_last v);
+  check Alcotest.int "pop_last" 2 (Vec.pop_last v);
+  check Alcotest.int "length" 1 (Vec.length v);
+  check Alcotest.int "pop_last" 1 (Vec.pop_last v);
+  Alcotest.check_raises "empty" (Invalid_argument "Vec.pop_last: empty")
+    (fun () -> ignore (Vec.pop_last v))
+
+let vec_truncate () =
+  let v = Vec.of_list [ 1; 2; 3; 4; 5 ] in
+  Vec.truncate v 2;
+  check (Alcotest.list Alcotest.int) "prefix kept" [ 1; 2 ] (Vec.to_list v);
+  Vec.truncate v 2;
+  check Alcotest.int "idempotent at length" 2 (Vec.length v);
+  Vec.truncate v 0;
+  check Alcotest.bool "empty" true (Vec.is_empty v);
+  Alcotest.check_raises "bad length" (Invalid_argument "Vec.truncate: bad length")
+    (fun () -> Vec.truncate v 1)
+
+let vec_retain_basic () =
+  let v = Vec.of_list [ 5; 2; 7; 2; 9 ] in
+  Vec.retain (fun x -> x <> 2) v;
+  check (Alcotest.list Alcotest.int) "order preserved" [ 5; 7; 9 ]
+    (Vec.to_list v)
+
+(* The arena contract the collector relies on: once a vector has grown,
+   clear + refill up to the old length never reallocates the backing
+   array (observable on the host as zero allocated bytes). *)
+let vec_clear_keeps_capacity () =
+  let v = Vec.create () in
+  for i = 1 to 1024 do
+    Vec.push v i
+  done;
+  let refill () =
+    Vec.clear v;
+    for i = 1 to 1024 do
+      Vec.push v i
+    done
+  in
+  refill ();
+  (* Gc.allocated_bytes allocates its own boxed result; calibrate the
+     per-call constant and subtract it from the window. *)
+  let c0 = Gc.allocated_bytes () in
+  let c1 = Gc.allocated_bytes () in
+  let per_call = c1 -. c0 in
+  let b0 = Gc.allocated_bytes () in
+  refill ();
+  let b1 = Gc.allocated_bytes () in
+  let words = (b1 -. b0 -. per_call) /. float_of_int (Sys.word_size / 8) in
+  check Alcotest.bool "no allocation on reuse" true (words < 1.0)
+
+let prop_vec_retain_matches_filter =
+  QCheck.Test.make ~name:"vec: retain matches List.filter" ~count:300
+    QCheck.(pair (list int) int)
+    (fun (xs, pivot) ->
+      let p x = x < pivot in
+      let v = Vec.of_list xs in
+      Vec.retain p v;
+      Vec.to_list v = List.filter p xs)
+
+(* Heapsort is not stable, so agreement with List.sort needs a total
+   order — which is exactly how the collector uses it (EC selection
+   breaks ties on page id).  Pairs with distinct second components give
+   a total order with many first-component collisions. *)
+let prop_vec_sort_total_order_matches_list_sort =
+  QCheck.Test.make ~name:"vec: sort under a total order matches List.sort"
+    ~count:300
+    QCheck.(list (int_bound 7))
+    (fun keys ->
+      let xs = List.mapi (fun i k -> (k, i)) keys in
+      let v = Vec.of_list xs in
+      Vec.sort compare v;
+      Vec.to_list v = List.sort compare xs)
+
+let prop_vec_truncate_is_prefix =
+  QCheck.Test.make ~name:"vec: truncate keeps the prefix" ~count:200
+    QCheck.(pair (list int) (int_bound 50))
+    (fun (xs, n) ->
+      let v = Vec.of_list xs in
+      let n = min n (List.length xs) in
+      Vec.truncate v n;
+      Vec.to_list v = List.filteri (fun i _ -> i < n) xs)
+
+(* ------------------------------------------------------------------ *)
+(* Bitmap.next_set (the collector's allocation-free livemap cursor)    *)
+(* ------------------------------------------------------------------ *)
+
+let bitmap_next_set_basic () =
+  let b = Bitmap.create 40 in
+  check Alcotest.int "empty" (-1) (Bitmap.next_set b 0);
+  List.iter (Bitmap.set b) [ 0; 7; 8; 31; 39 ];
+  check Alcotest.int "from 0" 0 (Bitmap.next_set b 0);
+  check Alcotest.int "from 1" 7 (Bitmap.next_set b 1);
+  check Alcotest.int "at a set bit" 7 (Bitmap.next_set b 7);
+  check Alcotest.int "byte boundary" 8 (Bitmap.next_set b 8);
+  check Alcotest.int "from 9" 31 (Bitmap.next_set b 9);
+  check Alcotest.int "last bit" 39 (Bitmap.next_set b 32);
+  check Alcotest.int "past last" (-1) (Bitmap.next_set b 40);
+  Alcotest.check_raises "negative" (Invalid_argument "Bitmap.next_set: negative index")
+    (fun () -> ignore (Bitmap.next_set b (-1)))
+
+let prop_bitmap_next_set_matches_iter_set =
+  QCheck.Test.make ~name:"bitmap: next_set cursor walk = iter_set" ~count:300
+    QCheck.(pair (int_range 1 300) (list (int_bound 299)))
+    (fun (size, indices) ->
+      let b = Bitmap.create size in
+      List.iter (fun i -> if i < size then Bitmap.set b i) indices;
+      let via_iter = ref [] in
+      Bitmap.iter_set b (fun i -> via_iter := i :: !via_iter);
+      let via_cursor = ref [] in
+      let bit = ref (Bitmap.next_set b 0) in
+      while !bit >= 0 do
+        via_cursor := !bit :: !via_cursor;
+        bit := if !bit + 1 >= size then -1 else Bitmap.next_set b (!bit + 1)
+      done;
+      !via_cursor = !via_iter)
+
+(* ------------------------------------------------------------------ *)
+(* Int_tbl: flat int -> int table vs a Hashtbl model                   *)
+(* ------------------------------------------------------------------ *)
+
+let int_tbl_basic () =
+  let t = Int_tbl.create ~capacity:4 () in
+  check Alcotest.int "empty" 0 (Int_tbl.length t);
+  Int_tbl.set t ~key:3 ~value:30;
+  Int_tbl.set t ~key:3 ~value:31;
+  check Alcotest.int "replace keeps one binding" 1 (Int_tbl.length t);
+  check Alcotest.int "latest value" 31 (Int_tbl.get t ~key:3 ~default:(-1));
+  check Alcotest.int "miss" (-1) (Int_tbl.get t ~key:4 ~default:(-1));
+  check Alcotest.bool "mem" true (Int_tbl.mem t ~key:3);
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Int_tbl.set: negative key") (fun () ->
+      Int_tbl.set t ~key:(-1) ~value:0)
+
+let int_tbl_add_if_absent () =
+  let t = Int_tbl.create () in
+  check Alcotest.int "first claim wins" (-1)
+    (Int_tbl.add_if_absent t ~key:7 ~value:70);
+  check Alcotest.int "second claim loses" 70
+    (Int_tbl.add_if_absent t ~key:7 ~value:71);
+  check Alcotest.int "binding untouched" 70 (Int_tbl.get t ~key:7 ~default:(-1))
+
+let int_tbl_clear_keeps_capacity () =
+  let t = Int_tbl.create ~capacity:4 () in
+  for k = 0 to 99 do
+    Int_tbl.set t ~key:k ~value:k
+  done;
+  let cap = Int_tbl.capacity t in
+  check Alcotest.bool "grew" true (cap >= 128);
+  Int_tbl.clear t;
+  check Alcotest.int "emptied" 0 (Int_tbl.length t);
+  check Alcotest.int "capacity retained" cap (Int_tbl.capacity t);
+  check Alcotest.int "old bindings gone" (-1) (Int_tbl.get t ~key:5 ~default:(-1))
+
+(* Scripted model check against [Hashtbl], including growth (scripts
+   far exceed the initial capacity) and bulk clears.  Keys are drawn as
+   [base * 64] with small jitter so many collide modulo the (power of
+   two) capacity — the probe chains this exercises are the
+   forwarding-index access pattern (granule numbers share low bits). *)
+let prop_int_tbl_matches_hashtbl =
+  let op =
+    QCheck.(
+      oneof
+        [
+          map
+            (fun (k, v) -> `Set (k, v))
+            (pair (int_bound 60) (int_bound 1000));
+          map
+            (fun (k, v) -> `Add (k, v))
+            (pair (int_bound 60) (int_bound 1000));
+          map (fun k -> `Get k) (int_bound 60);
+          map (fun () -> `Clear) unit;
+        ])
+  in
+  QCheck.Test.make ~name:"int_tbl: scripted ops match Hashtbl model" ~count:300
+    QCheck.(list op)
+    (fun script ->
+      let t = Int_tbl.create ~capacity:4 () in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let collide k = k * 64 in
+      List.for_all
+        (fun operation ->
+          match operation with
+          | `Set (k, v) ->
+              let k = collide k in
+              Int_tbl.set t ~key:k ~value:v;
+              Hashtbl.replace model k v;
+              true
+          | `Add (k, v) ->
+              let k = collide k in
+              let expect =
+                match Hashtbl.find_opt model k with
+                | Some existing -> existing
+                | None ->
+                    Hashtbl.replace model k v;
+                    -1
+              in
+              Int_tbl.add_if_absent t ~key:k ~value:v = expect
+          | `Get k ->
+              let k = collide k in
+              Int_tbl.get t ~key:k ~default:(-1)
+              = (match Hashtbl.find_opt model k with
+                | Some v -> v
+                | None -> -1)
+              && Int_tbl.mem t ~key:k = Hashtbl.mem model k
+          | `Clear ->
+              Int_tbl.clear t;
+              Hashtbl.reset model;
+              true)
+        script
+      && Int_tbl.length t = Hashtbl.length model
+      &&
+      (* iter visits exactly the model's bindings, once each *)
+      let seen = Hashtbl.create 16 in
+      Int_tbl.iter t (fun k v -> Hashtbl.add seen k v);
+      Hashtbl.length seen = Hashtbl.length model
+      && Hashtbl.fold
+           (fun k v ok -> ok && Hashtbl.find_opt seen k = Some v)
+           model true)
+
 let suite =
   [
     ( "util.rng",
@@ -386,6 +612,8 @@ let suite =
         QCheck_alcotest.to_alcotest prop_bitmap_clear_inverts_set;
         QCheck_alcotest.to_alcotest prop_bitmap_iter_fold_agree;
         QCheck_alcotest.to_alcotest prop_bitmap_test_and_set_reports_prior;
+        case "next_set basic" `Quick bitmap_next_set_basic;
+        QCheck_alcotest.to_alcotest prop_bitmap_next_set_matches_iter_set;
       ] );
     ( "util.vec",
       [
@@ -399,5 +627,19 @@ let suite =
         QCheck_alcotest.to_alcotest prop_vec_stack_discipline;
         QCheck_alcotest.to_alcotest prop_vec_sort_matches_list_sort;
         QCheck_alcotest.to_alcotest prop_vec_clear_then_push;
+        case "pop_last" `Quick vec_pop_last;
+        case "truncate" `Quick vec_truncate;
+        case "retain basic" `Quick vec_retain_basic;
+        case "clear keeps capacity" `Quick vec_clear_keeps_capacity;
+        QCheck_alcotest.to_alcotest prop_vec_retain_matches_filter;
+        QCheck_alcotest.to_alcotest prop_vec_sort_total_order_matches_list_sort;
+        QCheck_alcotest.to_alcotest prop_vec_truncate_is_prefix;
+      ] );
+    ( "util.int_tbl",
+      [
+        case "basic" `Quick int_tbl_basic;
+        case "add_if_absent" `Quick int_tbl_add_if_absent;
+        case "clear keeps capacity" `Quick int_tbl_clear_keeps_capacity;
+        QCheck_alcotest.to_alcotest prop_int_tbl_matches_hashtbl;
       ] );
   ]
